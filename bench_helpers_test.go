@@ -1,0 +1,6 @@
+package repro_test
+
+import "math/rand"
+
+// newRand returns a deterministic source for benchmark workloads.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

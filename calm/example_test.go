@@ -1,0 +1,60 @@
+package calm_test
+
+import (
+	"fmt"
+
+	"repro/calm"
+)
+
+// The README quick start: distribute the non-monotone win-move query
+// over three nodes under a domain-guided policy.
+func Example() {
+	q := calm.WinMove()
+	net := calm.MustNetwork("n1", "n2", "n3")
+	pol := calm.DomainGuided(calm.HashAssignment(net))
+	in := calm.MustParseInstance(`Move(a,b) Move(b,c)`)
+
+	res, err := calm.Compute(calm.DomainRequest, q, net, pol, in, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Output)
+
+	ok, err := calm.VerifyCoordinationFree(calm.DomainRequest, q, net, in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coordination-free:", ok)
+	// Output:
+	// {O(b)}
+	// coordination-free: true
+}
+
+// Classify programs into the paper's Datalog fragments and shrink a
+// monotonicity counterexample to its minimal core.
+func Example_classifyAndShrink() {
+	prog := calm.MustParseProgram(`
+		T(x,y)  :- E(x,y).
+		T(x,z)  :- T(x,y), E(y,z).
+		Adom(x) :- E(x,y).
+		Adom(y) :- E(x,y).
+		O(x,y)  :- Adom(x), Adom(y), !T(x,y).
+	`)
+	fmt.Println(prog.Classify())
+
+	q := calm.ComplementTC()
+	w, err := calm.CheckPair(q,
+		calm.MustParseInstance(`E(a,a) E(b,b) E(z,z)`),
+		calm.MustParseInstance(`E(a,c) E(c,b) E(c,d)`))
+	if err != nil {
+		panic(err)
+	}
+	small, err := calm.ShrinkWitness(q, calm.MDistinct, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("minimal J:", small.J)
+	// Output:
+	// semicon-Datalog¬
+	// minimal J: {E(a,c), E(c,b)}
+}

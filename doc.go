@@ -1,0 +1,9 @@
+// Package repro is the root of a reproduction of "Weaker Forms of
+// Monotonicity for Declarative Networking: a More Fine-grained Answer
+// to the CALM-conjecture" (Ameloot, Ketsman, Neven, Zinn; PODS 2014).
+//
+// The public API lives in the calm subpackage; the experiment suite
+// regenerating the paper's Figure 1 and Figure 2 lives in
+// figures_test.go and bench_test.go next to this file, and can also be
+// run through cmd/experiments.
+package repro

@@ -1,0 +1,106 @@
+// Hierarchy: walk the monotonicity hierarchy of Figure 1 bottom-up,
+// showing for each level a query that belongs there and the concrete
+// instance pair that expels it from the level below (Theorem 3.1's
+// separating examples, executed).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/calm"
+	"repro/internal/generate"
+	"repro/internal/monotone"
+)
+
+func main() {
+	type level struct {
+		query         calm.Query
+		inClass       calm.Class
+		hasIn, hasOut bool
+		notIn         calm.Class
+		i, j          *calm.Instance
+		comments      string
+	}
+	levels := []level{
+		{
+			query:    calm.TC(),
+			inClass:  calm.M,
+			hasIn:    true,
+			comments: "positive Datalog: fully monotone",
+		},
+		{
+			query:    calm.NoLoop(),
+			inClass:  calm.MDistinct,
+			hasIn:    true,
+			hasOut:   true,
+			notIn:    calm.M,
+			i:        calm.MustParseInstance(`E(a,b)`),
+			j:        calm.MustParseInstance(`E(a,a)`),
+			comments: "SP-Datalog: survives additions that bring new values",
+		},
+		{
+			query:    calm.ComplementTC(),
+			inClass:  calm.MDisjoint,
+			hasIn:    true,
+			hasOut:   true,
+			notIn:    calm.MDistinct,
+			i:        calm.MustParseInstance(`E(a,a) E(b,b)`),
+			j:        calm.MustParseInstance(`E(a,c) E(c,b)`),
+			comments: "semicon-Datalog¬: survives additions sharing no value",
+		},
+		{
+			query:    calm.TrianglesUnlessTwoDisjoint(),
+			hasOut:   true,
+			notIn:    calm.MDisjoint,
+			i:        generate.Triangle("a", "b", "c"),
+			j:        generate.Triangle("x", "y", "z"),
+			comments: "computable but outside every weakened class",
+		},
+	}
+
+	sampler := monotone.ClassSampler(calm.MDisjoint, func(rng *rand.Rand) (*calm.Instance, *calm.Instance) {
+		i := generate.RandomGraph(rng, "v", 4, 5)
+		j := generate.RandomGraph(rng, "w", 4, 4)
+		return i, j
+	})
+
+	fmt.Println("The monotonicity hierarchy M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C (Figure 1):")
+	fmt.Println()
+	for _, l := range levels {
+		fmt.Printf("%-14s — %s\n", l.query.Name(), l.comments)
+		if l.hasOut {
+			w, err := calm.CheckPair(l.query, l.i, l.j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if w == nil {
+				log.Fatalf("expected %s to violate %v", l.query.Name(), l.notIn)
+			}
+			fmt.Printf("  ∉ %-12v I=%v + J=%v loses %v\n", l.notIn, l.i, l.j, w.Missing)
+		}
+		if l.hasIn {
+			w, err := calm.FindViolation(l.query, l.inClass, sampler, 5, 200)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if w != nil {
+				log.Fatalf("unexpected violation of %v by %s: %v", l.inClass, l.query.Name(), w)
+			}
+			fmt.Printf("  ∈ %-12v no violation in 200 sampled pairs\n", l.inClass)
+		}
+		fmt.Println()
+	}
+
+	// The bounded classes: one edge from the old center is enough to
+	// grow a star, but disjoint additions need all spokes at once.
+	fmt.Println("Bounded classes (Theorem 3.1(6)): Q³star ∈ M²disjoint \\ M¹distinct")
+	star := generate.Star("c", "s", 2)
+	add := calm.MustParseInstance(`E(c,new)`)
+	w, err := calm.CheckPair(calm.KStar(3), star, add)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  star %v + single distinct edge %v loses %v\n", star, add, w.Missing)
+}

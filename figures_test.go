@@ -1,0 +1,480 @@
+// Experiment suite regenerating the paper's results: every edge of
+// Figure 1 (the monotonicity hierarchy, Theorem 3.1) and Figure 2 (the
+// fragment inclusions and the transducer-network equalities), plus
+// Lemma 3.2, Lemma 5.2, Theorem 5.3 and Example 5.1. Strict
+// separations use the paper's explicit counterexample constructions
+// (exact); memberships in universally quantified classes are checked
+// by seeded randomized violation search (evidence, recorded in
+// EXPERIMENTS.md).
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/generate"
+	"repro/internal/ilog"
+	"repro/internal/monotone"
+	"repro/internal/queries"
+	"repro/internal/transducer"
+)
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+// expectViolation asserts that the pair (i, j) — which must be allowed
+// by the class — violates the monotonicity condition for q.
+func expectViolation(t *testing.T, q monotone.Query, c monotone.Class, i, j *fact.Instance) {
+	t.Helper()
+	if !c.Allows(j, i) {
+		t.Fatalf("%s: counterexample pair not allowed by %v: I=%v J=%v", q.Name(), c, i, j)
+	}
+	w, err := monotone.CheckPair(q, i, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Errorf("%s expected to violate %v on I=%v J=%v", q.Name(), c, i, j)
+	}
+}
+
+// expectMember asserts (by randomized search over the sampler) that no
+// violation of the class condition is found for q.
+func expectMember(t *testing.T, q monotone.Query, c monotone.Class, s monotone.Sampler, trials int) {
+	t.Helper()
+	w, err := monotone.FindViolation(q, c, monotone.ClassSampler(c, s), 97, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Errorf("%s expected in %v; violation found: %v", q.Name(), c, w)
+	}
+}
+
+// graphSampler samples (I, J) pairs of random graphs, J over a fresh
+// value namespace (so all classes get candidates after restriction).
+func graphSampler(n, mi, mj int) monotone.Sampler {
+	return func(rng *rand.Rand) (*fact.Instance, *fact.Instance) {
+		i := generate.RandomGraph(rng, "v", n, mi)
+		pool := append(generate.Values("v", n), generate.Values("w", n)...)
+		j := generate.Random(rng, fact.GraphSchema(), pool, mj)
+		return i, j
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Theorem 3.1
+// ---------------------------------------------------------------------------
+
+// Theorem 3.1(1): M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C.
+func TestTheorem31_1(t *testing.T) {
+	// NoLoop ∈ Mdistinct \ M (SP-Datalog ⊆ Mdistinct edge).
+	noLoop := queries.NoLoop()
+	expectViolation(t, noLoop, monotone.M,
+		fact.MustParseInstance(`E(a,b)`), fact.MustParseInstance(`E(a,a)`))
+	expectMember(t, noLoop, monotone.MDistinct, graphSampler(4, 5, 4), 400)
+
+	// QTC ∈ Mdisjoint \ Mdistinct: adding a path through a NEW vertex
+	// c (each added fact contains c, so J is domain distinct) connects
+	// a to b (the paper's construction).
+	qtc := queries.ComplementTC()
+	expectViolation(t, qtc, monotone.MDistinct,
+		fact.MustParseInstance(`E(a,a) E(b,b)`), fact.MustParseInstance(`E(a,c) E(c,b)`))
+	expectMember(t, qtc, monotone.MDisjoint, graphSampler(4, 4, 4), 400)
+
+	// Q_triangles ∈ C \ Mdisjoint.
+	tri := queries.TrianglesUnlessTwoDisjoint()
+	expectViolation(t, tri, monotone.MDisjoint,
+		generate.Triangle("a", "b", "c"), generate.Triangle("x", "y", "z"))
+}
+
+// Theorem 3.1(2): M = Mⁱ — every monotonicity violation shrinks to a
+// single-fact violation, so already M¹ rejects the non-monotone
+// queries; and queries in M are (by definition scope) in every Mⁱ.
+func TestTheorem31_2(t *testing.T) {
+	// Single-fact violations for the non-monotone queries.
+	expectViolation(t, queries.NoLoop(), monotone.Mi(1),
+		fact.MustParseInstance(`E(a,b)`), fact.MustParseInstance(`E(a,a)`))
+	expectViolation(t, queries.ComplementTC(), monotone.Mi(1),
+		fact.MustParseInstance(`E(a,x) E(y,b)`), fact.MustParseInstance(`E(x,y)`))
+
+	// TC ∈ M stays violation-free in every bounded class.
+	for i := 1; i <= 3; i++ {
+		expectMember(t, queries.TC(), monotone.Mi(i), graphSampler(4, 5, 3), 200)
+	}
+}
+
+// Theorem 3.1(3): Q^{i+2}_clique ∈ Mⁱdistinct \ M^{i+1}distinct.
+func TestTheorem31_3(t *testing.T) {
+	for _, i := range []int{1, 2} {
+		q := queries.KClique(i + 2)
+		// Counterexample: I is an (i+1)-clique; J is a star from a new
+		// center to all clique vertices (|J| = i+1, domain distinct).
+		iInst := generate.Clique("v", i+1)
+		j := fact.NewInstance()
+		for _, v := range generate.Values("v", i+1) {
+			j.Add(fact.New("E", "center", v))
+		}
+		expectViolation(t, q, monotone.MiDistinct(i+1), iInst, j)
+		// Membership in Mⁱdistinct by randomized search.
+		expectMember(t, q, monotone.MiDistinct(i), graphSampler(4, 5, 4), 400)
+	}
+}
+
+// Theorem 3.1(4): Q^{i+1}_star ∈ Mⁱdisjoint \ M^{i+1}disjoint.
+func TestTheorem31_4(t *testing.T) {
+	for _, i := range []int{1, 2} {
+		q := queries.KStar(i + 1)
+		// i+1 domain-disjoint edges create a brand-new (i+1)-spoke star.
+		iInst := fact.MustParseInstance(`E(a,b)`)
+		j := generate.Star("c", "s", i+1)
+		expectViolation(t, q, monotone.MiDisjoint(i+1), iInst, j)
+		expectMember(t, q, monotone.MiDisjoint(i), graphSampler(4, 4, 4), 400)
+	}
+}
+
+// Theorem 3.1(5): Q^{i+1}_clique ∈ Mⁱdisjoint \ Mⁱdistinct.
+func TestTheorem31_5(t *testing.T) {
+	for _, i := range []int{2, 3} {
+		q := queries.KClique(i + 1)
+		// Extend an i-clique with one new vertex: |J| = i, distinct.
+		iInst := generate.Clique("v", i)
+		j := fact.NewInstance()
+		for _, v := range generate.Values("v", i) {
+			j.Add(fact.New("E", "center", v))
+		}
+		expectViolation(t, q, monotone.MiDistinct(i), iInst, j)
+		expectMember(t, q, monotone.MiDisjoint(i), graphSampler(4, 4, 4), 400)
+	}
+}
+
+// Theorem 3.1(6): Q^{j+1}_star ∈ Mʲdisjoint \ Mⁱdistinct.
+func TestTheorem31_6(t *testing.T) {
+	j := 2
+	q := queries.KStar(j + 1)
+	// One domain-distinct edge from the old center adds the extra spoke.
+	iInst := generate.Star("c", "s", j)
+	add := fact.MustParseInstance(`E(c,new)`)
+	expectViolation(t, q, monotone.MiDistinct(1), iInst, add)
+	expectMember(t, q, monotone.MiDisjoint(j), graphSampler(4, 4, 4), 400)
+}
+
+// Theorem 3.1(7): Q^j_duplicate ∈ Mⁱdistinct \ Mʲdisjoint for i < j.
+func TestTheorem31_7(t *testing.T) {
+	j := 3
+	q := queries.Duplicate(j)
+	// j domain-disjoint facts replicate one new tuple over all relations.
+	iInst := fact.MustParseInstance(`R1(a,b)`)
+	dup := fact.NewInstance()
+	for n := 1; n <= j; n++ {
+		dup.Add(fact.New(fmt.Sprintf("R%d", n), "x", "y"))
+	}
+	expectViolation(t, q, monotone.MiDisjoint(j), iInst, dup)
+
+	// Membership in Mⁱdistinct for i < j by randomized search.
+	schema := queries.DuplicateSchema(j)
+	sampler := func(rng *rand.Rand) (*fact.Instance, *fact.Instance) {
+		i := generate.Random(rng, schema, generate.Values("v", 4), 5)
+		pool := append(generate.Values("v", 4), generate.Values("w", 3)...)
+		return i, generate.Random(rng, schema, pool, 4)
+	}
+	for i := 1; i < j; i++ {
+		expectMember(t, q, monotone.MiDistinct(i), sampler, 400)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3.2: H ⊊ Hinj = M ⊊ E = Mdistinct
+// ---------------------------------------------------------------------------
+
+func TestLemma32(t *testing.T) {
+	// H ⊊ Hinj: the ≠-query survives injective homomorphisms but not
+	// collapses.
+	neq := datalog.MustQuery(datalog.MustParseProgram(`O(x,y) :- E(x,y), x != y.`), "O")
+	i := fact.MustParseInstance(`E(a,b)`)
+	collapse := fact.Hom{"a": "c", "b": "c"}
+	w, err := monotone.CheckHomPair(neq, i, i.Map(collapse), collapse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Error("≠-query should witness H ⊊ Hinj")
+	}
+
+	// Hinj = M, one direction on a non-monotone query: NoLoop violates
+	// injective-homomorphism preservation into a proper superset.
+	noLoop := queries.NoLoop()
+	id := fact.Hom{"a": "a", "b": "b"}
+	w, err = monotone.CheckHomPair(noLoop, i, fact.MustParseInstance(`E(a,b) E(a,a)`), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Error("NoLoop ∉ M must also fall outside Hinj (Lemma 3.2)")
+	}
+	// ... and the other direction on a monotone query: TC is preserved.
+	hv, err := monotone.FindHomViolation(queries.TC(), func(rng *rand.Rand) *fact.Instance {
+		return generate.RandomGraph(rng, "v", 4, 5)
+	}, true, 11, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv != nil {
+		t.Errorf("TC ∈ M must be preserved under injective homomorphisms: %v", hv)
+	}
+
+	// E = Mdistinct: QTC ∉ Mdistinct must violate extension
+	// preservation, with the explicit pair from Section 3.2.
+	qtc := queries.ComplementTC()
+	iFull := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a)`)
+	jInd := fact.MustParseInstance(`E(a,b)`)
+	ew, err := monotone.CheckExtensionPair(qtc, jInd, iFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew == nil {
+		t.Error("QTC ∉ Mdistinct must violate extension preservation (E = Mdistinct)")
+	}
+	// NoLoop ∈ Mdistinct must be preserved under extensions.
+	xv, err := monotone.FindExtensionViolation(queries.NoLoop(), func(rng *rand.Rand) *fact.Instance {
+		return generate.RandomGraph(rng, "v", 5, 6)
+	}, 13, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xv != nil {
+		t.Errorf("NoLoop ∈ Mdistinct = E must be preserved under extensions: %v", xv)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2, left column: fragments vs classes
+// ---------------------------------------------------------------------------
+
+// Datalog(≠) ⊆ M, checked on the ≠-restricted edge query and TC.
+func TestFig2_DatalogNeqInM(t *testing.T) {
+	progs := []string{
+		`O(x,y) :- E(x,y), x != y.`,
+		`O(x,y) :- E(x,y). O(x,z) :- O(x,y), E(y,z).`,
+	}
+	for _, src := range progs {
+		p := datalog.MustParseProgram(src)
+		if !p.IsPositive() {
+			t.Fatalf("test program not positive: %s", src)
+		}
+		q := datalog.MustQuery(p, "O")
+		expectMember(t, q, monotone.M, graphSampler(4, 5, 4), 300)
+	}
+}
+
+// SP-Datalog ⊆ Mdistinct (= E), checked on NoLoop and a second SP query.
+func TestFig2_SPDatalogInMdistinct(t *testing.T) {
+	progs := []*datalog.Program{
+		queries.NoLoopProgram(),
+		datalog.MustParseProgram(`
+			Adom(x) :- E(x,y).
+			Adom(y) :- E(x,y).
+			O(x,y) :- Adom(x), Adom(y), !E(x,y), !E(y,x), x != y.
+		`),
+	}
+	for _, p := range progs {
+		if !p.IsSemiPositive() {
+			t.Fatalf("test program not SP:\n%s", p)
+		}
+		q := datalog.MustQuery(p, "O")
+		expectMember(t, q, monotone.MDistinct, graphSampler(4, 5, 4), 300)
+	}
+}
+
+// Theorem 5.3: semicon-Datalog¬ ⊆ Mdisjoint, checked on the
+// classifier-verified semicon programs; and a non-semicon program
+// (Q^3_clique) indeed falls outside Mdisjoint.
+func TestTheorem53(t *testing.T) {
+	semicon := []*datalog.Program{
+		queries.ComplementTCProgram(),
+		queries.Example51P1(),
+		queries.NoLoopProgram(),
+	}
+	for _, p := range semicon {
+		if !p.IsSemiConnected() {
+			t.Fatalf("program expected semicon:\n%s", p)
+		}
+		q := datalog.MustQuery(p, "O")
+		expectMember(t, q, monotone.MDisjoint, graphSampler(4, 4, 4), 300)
+	}
+
+	// Q^3_clique's program is not semicon, and the query is not in
+	// Mdisjoint: a fully new triangle kills the output.
+	p := queries.KCliqueProgram(3)
+	if p.IsSemiConnected() {
+		t.Error("Q^3_clique program should not be semicon")
+	}
+	expectViolation(t, queries.KClique(3), monotone.MDisjoint,
+		fact.MustParseInstance(`E(a,b)`), generate.Triangle("x", "y", "z"))
+}
+
+// Lemma 5.2: con-Datalog¬ queries distribute over components.
+func TestLemma52(t *testing.T) {
+	p := queries.Example51P1()
+	if !p.IsConnectedProgram() {
+		t.Fatal("P1 expected in con-Datalog¬")
+	}
+	q := datalog.MustQuery(p, "O")
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		i := generate.DisjointUnion(
+			generate.RandomGraph(rng, "v", 3, 3),
+			generate.RandomGraph(rng, "w", 3, 3),
+			generate.RandomGraph(rng, "u", 2, 2),
+		)
+		whole, err := q.Eval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := fact.NewInstance()
+		comps := fact.Components(i)
+		for _, c := range comps {
+			pc, err := q.Eval(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Output adoms of distinct components stay disjoint.
+			if !pc.ADom().Minus(c.ADom()).Equal(fact.NewValueSet()) {
+				t.Fatalf("component output %v escapes component adom %v", pc, c)
+			}
+			parts.AddAll(pc)
+		}
+		if !whole.Equal(parts) {
+			t.Fatalf("P1 did not distribute over components on %v:\nwhole = %v\nparts = %v", i, whole, parts)
+		}
+	}
+}
+
+// Example 5.1, complete: P1 ∈ con-Datalog¬ \ Mdistinct;
+// P2 ∉ semicon-Datalog¬ and its query ∉ Mdisjoint.
+func TestExample51(t *testing.T) {
+	p1 := queries.Example51P1()
+	if got := p1.Classify(); got != datalog.FragConDatalog {
+		t.Errorf("Classify(P1) = %v", got)
+	}
+	q1 := datalog.MustQuery(p1, "O")
+	expectViolation(t, q1, monotone.MDistinct,
+		fact.MustParseInstance(`E(a,b)`), fact.MustParseInstance(`E(b,c) E(c,a)`))
+
+	p2 := queries.Example51P2()
+	if p2.IsSemiConnected() {
+		t.Error("P2 should not be semicon")
+	}
+	q2 := datalog.MustQuery(p2, "O")
+	expectViolation(t, q2, monotone.MDisjoint,
+		generate.Triangle("a", "b", "c"), generate.Triangle("x", "y", "z"))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2, right columns: F0 = A0 = M, F1 = A1 = Mdistinct,
+// F2 = A2 = Mdisjoint (Theorems 4.3, 4.4, 4.5, Corollary 4.6)
+// ---------------------------------------------------------------------------
+
+// The compact network-side check: each strategy computes its class's
+// queries on a 3-node network under a general (resp. domain-guided)
+// policy, and has a Definition 3 heartbeat witness. The exhaustive
+// version lives in internal/core's tests.
+func TestFig2_TransducerEqualities(t *testing.T) {
+	net := transducer.MustNetwork("n1", "n2", "n3")
+	in := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a) E(d,d)`)
+	cases := []struct {
+		s   core.Strategy
+		q   monotone.Query
+		pol transducer.Policy
+	}{
+		{core.Broadcast, queries.TC(), transducer.HashPolicy(net)},
+		{core.Absence, queries.NoLoop(), transducer.HashPolicy(net)},
+		{core.DomainRequest, queries.ComplementTC(), transducer.DomainGuided(transducer.HashAssignment(net))},
+	}
+	for _, c := range cases {
+		want, err := c.q.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Compute(c.s, c.q, net, c.pol, in, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", c.s, err)
+		}
+		if !res.Output.Equal(want) {
+			t.Errorf("%v: distributed %v != central %v", c.s, res.Output, want)
+		}
+		ok, err := core.VerifyCoordinationFree(c.s, c.q, net, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%v: no coordination-freeness witness", c.s)
+		}
+	}
+}
+
+// Theorem 4.5 / Corollary 4.6: the strategies run in All-free models
+// (A0/A1/A2); the win-move headline runs end-to-end under domain
+// guidance without All.
+func TestTheorem45_WinMoveWithoutAll(t *testing.T) {
+	for _, s := range []core.Strategy{core.Broadcast, core.Absence, core.DomainRequest} {
+		if s.RequiredModel().ShowAll {
+			t.Errorf("%v requires All", s)
+		}
+	}
+	q := queries.WinMove()
+	in := fact.MustParseInstance(`Move(a,b) Move(b,a) Move(b,c) Move(d,e)`)
+	want, err := q.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transducer.MustNetwork("n1", "n2")
+	res, err := core.Compute(core.DomainRequest, q, net, transducer.DomainGuided(transducer.HashAssignment(net)), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(want) {
+		t.Errorf("win-move distributed = %v, want %v", res.Output, want)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.4 (checked direction): semicon wILOG¬ programs stay in
+// Mdisjoint; invention works end-to-end.
+// ---------------------------------------------------------------------------
+
+func TestTheorem54_Examples(t *testing.T) {
+	// A connected wILOG program: invent an id per edge, then join ids
+	// back to edges of a path of length 2 — output O(x,z).
+	p := ilog.NewProgram(
+		ilog.Rule{Head: datalog.AtomV("Id", "x", "y"), Invents: true,
+			Pos: []datalog.Atom{datalog.AtomV("E", "x", "y")}},
+		ilog.Rule{Head: datalog.AtomV("O", "x", "z"),
+			Pos: []datalog.Atom{datalog.AtomV("Id", "i", "x", "y"), datalog.AtomV("Id", "j", "y", "z")}},
+	)
+	if !p.IsSemiConnected() {
+		t.Fatal("example wILOG program expected semicon")
+	}
+	if !p.IsWeaklySafe("O") {
+		t.Fatal("example wILOG program expected weakly safe for O")
+	}
+	q := monotone.NewGraphFunc("wILOG-path2", fact.MustSchema(map[string]int{"O": 2}),
+		func(i *fact.Instance) (*fact.Instance, error) {
+			return p.EvalQuery(i, []string{"O"}, ilog.Options{})
+		})
+	// Semantics check.
+	out, err := q.Eval(fact.MustParseInstance(`E(a,b) E(b,c)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(fact.MustParseInstance(`O(a,c)`)) {
+		t.Errorf("wILOG path2 = %v", out)
+	}
+	// Theorem 5.4's ⊆ direction evidence: no Mdisjoint violation.
+	expectMember(t, q, monotone.MDisjoint, graphSampler(4, 4, 4), 300)
+}

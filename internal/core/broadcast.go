@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/monotone"
+	"repro/internal/transducer"
+)
+
+// buildBroadcast constructs the F0 strategy (class M): broadcast the
+// local input fragment once, accumulate everything received, and
+// evaluate the query on the collected facts at every transition. For
+// a monotone query every partial evaluation is a subset of Q(I), so
+// outputs are never wrong, and once all facts have arrived everywhere
+// every node outputs Q(I).
+func buildBroadcast(q monotone.Query, in, out fact.Schema) (*transducer.Transducer, error) {
+	msg := make(fact.Schema)
+	mem := make(fact.Schema)
+	for rel, ar := range in {
+		msg[relFwd(rel)] = ar
+		mem[relGot(rel)] = ar
+		mem[relSent(rel)] = ar
+	}
+	sch := transducer.Schema{In: in, Out: out, Msg: msg, Mem: mem}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+
+	t := &transducer.Transducer{
+		Schema: sch,
+		Out: func(d *fact.Instance) (*fact.Instance, error) {
+			k := knownFacts(d, in)
+			res, err := q.Eval(k)
+			if err != nil {
+				return nil, fmt.Errorf("core: broadcast strategy evaluating %s: %w", q.Name(), err)
+			}
+			return res, nil
+		},
+		Ins: func(d *fact.Instance) (*fact.Instance, error) {
+			ins := fact.NewInstance()
+			for rel := range in {
+				// Persist facts delivered this transition.
+				for _, f := range d.Rel(relFwd(rel)) {
+					ins.Add(fact.FromTuple(relGot(rel), f.Args()))
+				}
+				// Mark local facts as forwarded.
+				for _, f := range d.Rel(rel) {
+					ins.Add(fact.FromTuple(relSent(rel), f.Args()))
+				}
+			}
+			return ins, nil
+		},
+		Snd: func(d *fact.Instance) (*fact.Instance, error) {
+			snd := fact.NewInstance()
+			for rel := range in {
+				for _, f := range d.Rel(rel) {
+					if !d.Has(fact.FromTuple(relSent(rel), f.Args())) {
+						snd.Add(fact.FromTuple(relFwd(rel), f.Args()))
+					}
+				}
+			}
+			return snd, nil
+		},
+	}
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/monotone"
+	"repro/internal/transducer"
+)
+
+// Result bundles the network output of a distributed evaluation with
+// the run metrics, for the experiment harness and benchmarks.
+type Result struct {
+	Output  *fact.Instance
+	Metrics transducer.Metrics
+}
+
+// Compute evaluates the query distributedly: it builds the strategy's
+// transducer, distributes the input over the network under the policy,
+// runs a fair round-robin run to quiescence, and returns the network
+// output. maxRounds bounds the run (32 + |I| + 4|N| is ample for the
+// built-in strategies; pass 0 to use that default).
+func Compute(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, maxRounds int) (*Result, error) {
+	t, err := Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := transducer.NewSimulation(net, t, pol, s.RequiredModel(), input)
+	if err != nil {
+		return nil, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 32 + input.Len() + 4*len(net)
+	}
+	out, err := sim.RunToQuiescence(maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Metrics: sim.Metrics}, nil
+}
+
+// ComputeRandom is Compute with a prefix of random (nondeterministic)
+// transitions before the round-robin drive, exercising run confluence.
+func ComputeRandom(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, seed int64, randomSteps, maxRounds int) (*Result, error) {
+	t, err := Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := transducer.NewSimulation(net, t, pol, s.RequiredModel(), input)
+	if err != nil {
+		return nil, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 32 + input.Len() + 4*len(net)
+	}
+	out, err := sim.RunRandom(seed, randomSteps, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Metrics: sim.Metrics}, nil
+}
+
+// VerifyCoordinationFree checks the Definition 3 witness for the
+// strategy and query on one network and input: under the strategy's
+// ideal policy centered at the first network node, a heartbeat-only
+// prefix at that node must already produce Q(I), and the run must
+// extend to a fair run computing exactly Q(I).
+func VerifyCoordinationFree(s Strategy, q monotone.Query, net transducer.Network, input *fact.Instance) (bool, error) {
+	want, err := q.Eval(input)
+	if err != nil {
+		return false, fmt.Errorf("core: evaluating %s centrally: %w", q.Name(), err)
+	}
+	t, err := Build(s, q)
+	if err != nil {
+		return false, err
+	}
+	x := net[0]
+	maxSteps := 4 + input.Len()
+	maxRounds := 32 + input.Len() + 4*len(net)
+	return transducer.CoordinationFreeWitness(net, t, s.IdealPolicy(x), s.RequiredModel(), input, want, x, maxSteps, maxRounds)
+}

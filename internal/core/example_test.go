@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fact"
+	"repro/internal/queries"
+	"repro/internal/transducer"
+)
+
+// Distribute the non-monotone win-move query over three nodes under a
+// domain-guided policy: the domain-request strategy (Theorem 4.4)
+// computes it coordination-free.
+func ExampleCompute() {
+	q := queries.WinMove()
+	net := transducer.MustNetwork("n1", "n2", "n3")
+	pol := transducer.DomainGuided(transducer.HashAssignment(net))
+	game := fact.MustParseInstance(`Move(a,b) Move(b,a) Move(b,c)`)
+
+	res, err := core.Compute(core.DomainRequest, q, net, pol, game, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Output)
+	// Output:
+	// {O(b)}
+}
+
+// Check the Definition 3 coordination-freeness witness: under the
+// ideal policy the answer appears in a heartbeat-only prefix.
+func ExampleVerifyCoordinationFree() {
+	ok, err := core.VerifyCoordinationFree(
+		core.DomainRequest,
+		queries.ComplementTC(),
+		transducer.MustNetwork("n1", "n2"),
+		fact.MustParseInstance(`E(a,b) E(b,c)`),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok)
+	// Output:
+	// true
+}
+
+// Each strategy computes exactly one monotonicity class and runs in an
+// All-free model (Theorem 4.5).
+func ExampleStrategy_Class() {
+	for _, s := range []core.Strategy{core.Broadcast, core.Absence, core.DomainRequest} {
+		fmt.Printf("%v computes %v, needs All: %v\n", s, s.Class(), s.RequiredModel().ShowAll)
+	}
+	// Output:
+	// broadcast(M) computes M, needs All: false
+	// absence(Mdistinct) computes M_distinct, needs All: false
+	// domain-request(Mdisjoint) computes M_disjoint, needs All: false
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/queries"
+	"repro/internal/transducer"
+)
+
+// Genericity carries over to the distributed evaluation: renaming the
+// input values (away from the node identifiers) commutes with the
+// distributed computation, for every strategy.
+func TestStrategiesGeneric(t *testing.T) {
+	net := transducer.MustNetwork("n1", "n2")
+	perm := fact.Hom{"a": "z1", "b": "z2", "c": "z3", "d": "z4"}
+	in := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a) E(d,d)`)
+	renamed := in.Map(perm)
+
+	type tc struct {
+		s   Strategy
+		pol transducer.Policy
+	}
+	for name, c := range map[string]tc{
+		"broadcast": {Broadcast, transducer.HashPolicy(net)},
+		"absence":   {Absence, transducer.HashPolicy(net)},
+		"domainreq": {DomainRequest, transducer.DomainGuided(transducer.HashAssignment(net))},
+	} {
+		q := queries.ComplementTC()
+		if c.s == Broadcast {
+			q = queries.TC()
+		}
+		if c.s == Absence {
+			q = queries.NoLoop()
+		}
+		res1, err := Compute(c.s, q, net, c.pol, in, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res2, err := Compute(c.s, q, net, c.pol, renamed, 0)
+		if err != nil {
+			t.Fatalf("%s renamed: %v", name, err)
+		}
+		if !res1.Output.Map(perm).Equal(res2.Output) {
+			t.Errorf("%s: renaming does not commute:\nπ(Q(I)) = %v\nQ(π(I)) = %v",
+				name, res1.Output.Map(perm), res2.Output)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/generate"
+	"repro/internal/monotone"
+	"repro/internal/queries"
+	"repro/internal/transducer"
+)
+
+// Exhaustive input sweep: each strategy computes its class's query on
+// EVERY graph over two values (16 graphs) on a two-node network, under
+// both a general and a domain-guided policy where applicable.
+func TestStrategySweepAllSmallGraphs(t *testing.T) {
+	net := transducer.MustNetwork("n1", "n2")
+	hash := transducer.HashPolicy(net)
+	guided := transducer.DomainGuided(transducer.HashAssignment(net))
+
+	cases := []struct {
+		name string
+		s    Strategy
+		q    monotone.Query
+		pol  transducer.Policy
+	}{
+		{"broadcast/TC/hash", Broadcast, queries.TC(), hash},
+		{"absence/NoLoop/hash", Absence, queries.NoLoop(), hash},
+		{"absence/TC/hash", Absence, queries.TC(), hash},
+		{"domainreq/QTC/guided", DomainRequest, queries.ComplementTC(), guided},
+		{"domainreq/NoLoop/guided", DomainRequest, queries.NoLoop(), guided},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			generate.AllGraphs(generate.Values("v", 2), func(g *fact.Instance) bool {
+				want, err := c.q.Eval(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Compute(c.s, c.q, net, c.pol, g, 0)
+				if err != nil {
+					t.Fatalf("input %v: %v", g, err)
+				}
+				if !res.Output.Equal(want) {
+					t.Fatalf("input %v: distributed %v != central %v", g, res.Output, want)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// Exhaustive win-move sweep over all 2-position game graphs.
+func TestWinMoveSweepAllSmallGames(t *testing.T) {
+	net := transducer.MustNetwork("n1", "n2")
+	guided := transducer.DomainGuided(transducer.HashAssignment(net))
+	q := queries.WinMove()
+	type edge struct{ a, b fact.Value }
+	vals := []fact.Value{"p", "q"}
+	var edges []edge
+	for _, a := range vals {
+		for _, b := range vals {
+			edges = append(edges, edge{a, b})
+		}
+	}
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		g := fact.NewInstance()
+		for bit, e := range edges {
+			if mask&(1<<bit) != 0 {
+				g.Add(fact.New("Move", e.a, e.b))
+			}
+		}
+		want, err := q.Eval(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compute(DomainRequest, q, net, guided, g, 0)
+		if err != nil {
+			t.Fatalf("game %v: %v", g, err)
+		}
+		if !res.Output.Equal(want) {
+			t.Fatalf("game %v: distributed %v != central %v", g, res.Output, want)
+		}
+	}
+}

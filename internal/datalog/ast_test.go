@@ -1,0 +1,160 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestRuleValidate(t *testing.T) {
+	good := Rule{
+		Head: AtomV("T", "x", "y"),
+		Pos:  []Atom{AtomV("R", "x", "y")},
+		Neg:  []Atom{AtomV("S", "y")},
+		Ineq: []Inequality{{V("x"), V("y")}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+
+	// Empty positive body.
+	bad := Rule{Head: AtomV("T", "x"), Neg: []Atom{AtomV("S", "x")}}
+	if err := bad.Validate(); err == nil {
+		t.Error("rule with empty positive body accepted")
+	}
+
+	// Unsafe head variable.
+	unsafe := Rule{Head: AtomV("T", "z"), Pos: []Atom{AtomV("R", "x")}}
+	if err := unsafe.Validate(); err == nil {
+		t.Error("unsafe head variable accepted")
+	}
+
+	// Unsafe negated variable.
+	unsafeNeg := Rule{
+		Head: AtomV("T", "x"),
+		Pos:  []Atom{AtomV("R", "x")},
+		Neg:  []Atom{AtomV("S", "y")},
+	}
+	if err := unsafeNeg.Validate(); err == nil {
+		t.Error("unsafe negated variable accepted")
+	}
+
+	// Unsafe inequality variable.
+	unsafeIneq := Rule{
+		Head: AtomV("T", "x"),
+		Pos:  []Atom{AtomV("R", "x")},
+		Ineq: []Inequality{{V("x"), V("w")}},
+	}
+	if err := unsafeIneq.Validate(); err == nil {
+		t.Error("unsafe inequality variable accepted")
+	}
+
+	// Nullary atom.
+	nullary := Rule{Head: Atom{Rel: "T"}, Pos: []Atom{AtomV("R", "x")}}
+	if err := nullary.Validate(); err == nil {
+		t.Error("nullary head accepted")
+	}
+}
+
+func TestRuleVars(t *testing.T) {
+	r := Rule{
+		Head: AtomV("T", "x"),
+		Pos:  []Atom{AtomV("R", "x", "y")},
+		Neg:  []Atom{AtomV("S", "y")},
+		Ineq: []Inequality{{V("x"), V("y")}},
+	}
+	got := r.Vars()
+	if strings.Join(got, ",") != "x,y" {
+		t.Errorf("Vars = %v, want [x y]", got)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Head: AtomV("T", "x", "y"),
+		Pos:  []Atom{AtomV("R", "x", "y")},
+		Neg:  []Atom{AtomV("S", "y")},
+		Ineq: []Inequality{{V("x"), V("y")}},
+	}
+	want := "T(x,y) :- R(x,y), !S(y), x != y."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestProgramSchemas(t *testing.T) {
+	p := MustParseProgram(`
+		T(x,y) :- E(x,y).
+		T(x,z) :- T(x,y), E(y,z).
+	`)
+	sch, err := p.Schema()
+	if err != nil {
+		t.Fatalf("Schema: %v", err)
+	}
+	if !sch.Equal(fact.MustSchema(map[string]int{"E": 2, "T": 2})) {
+		t.Errorf("sch(P) = %v", sch)
+	}
+	if !p.IDB().Equal(fact.MustSchema(map[string]int{"T": 2})) {
+		t.Errorf("idb(P) = %v", p.IDB())
+	}
+	if !p.EDB().Equal(fact.MustSchema(map[string]int{"E": 2})) {
+		t.Errorf("edb(P) = %v", p.EDB())
+	}
+}
+
+func TestProgramSchemaArityConflict(t *testing.T) {
+	p := NewProgram(
+		Rule{Head: AtomV("T", "x"), Pos: []Atom{AtomV("R", "x")}},
+		Rule{Head: AtomV("T", "x", "y"), Pos: []Atom{AtomV("R", "x"), AtomV("R", "y")}},
+	)
+	if err := p.Validate(); err == nil {
+		t.Error("arity-inconsistent program accepted")
+	}
+}
+
+func TestProgramClassPredicates(t *testing.T) {
+	pos := MustParseProgram(`T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).`)
+	if !pos.IsPositive() || pos.HasInequalities() || !pos.IsSemiPositive() {
+		t.Error("positive TC program misclassified")
+	}
+
+	withNeq := MustParseProgram(`O(x,y) :- E(x,y), x != y.`)
+	if !withNeq.IsPositive() || !withNeq.HasInequalities() {
+		t.Error("Datalog(≠) program misclassified")
+	}
+
+	sp := MustParseProgram(`O(x,y) :- E(x,y), !F(x,y).`)
+	if sp.IsPositive() || !sp.IsSemiPositive() {
+		t.Error("semi-positive program misclassified")
+	}
+
+	strat := MustParseProgram(`
+		T(x,y) :- E(x,y).
+		O(x,y) :- E(x,y), !T(y,x).
+	`)
+	if strat.IsSemiPositive() {
+		t.Error("program negating an idb relation claimed semi-positive")
+	}
+}
+
+func TestHasConstants(t *testing.T) {
+	if MustParseProgram(`O(x) :- E(x,y).`).HasConstants() {
+		t.Error("constant-free program reported constants")
+	}
+	if !MustParseProgram(`O(x) :- E(x,"a").`).HasConstants() {
+		t.Error("constant in body not detected")
+	}
+	if !MustParseProgram(`O(x) :- E(x,y), x != "b".`).HasConstants() {
+		t.Error("constant in inequality not detected")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if V("x").String() != "x" {
+		t.Error("variable string")
+	}
+	if C("a").String() != `"a"` {
+		t.Error("constant string")
+	}
+}

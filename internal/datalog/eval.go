@@ -1,0 +1,393 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+)
+
+// This file implements the semantics of semi-positive Datalog¬
+// programs (Section 2): the immediate consequence operator TP and its
+// minimal fixpoint, with two interchangeable evaluation strategies —
+// naive (recompute all rules each round; the correctness oracle) and
+// semi-naive (each round only joins that touch at least one
+// newly-derived fact; the default). Stratified programs are evaluated
+// stratum by stratum in stratify.go.
+
+// EvalMode selects the fixpoint evaluation strategy.
+type EvalMode int
+
+const (
+	// SemiNaive evaluates deltas only; the default.
+	SemiNaive EvalMode = iota
+	// Naive re-evaluates every rule against the full instance each
+	// round. Quadratically slower; kept as an oracle and for the
+	// ablation benchmark.
+	Naive
+)
+
+// Bindings maps variable names to domain values during rule matching.
+type Bindings map[string]fact.Value
+
+// argKey addresses the facts of a relation holding a given value at a
+// given argument position — the access path for index-assisted joins.
+type argKey struct {
+	rel string
+	pos int
+	val fact.Value
+}
+
+// relIndex indexes an instance by relation name and additionally by
+// (relation, position, value), so that rule evaluation can narrow the
+// candidate facts for an atom whose argument is already bound.
+type relIndex struct {
+	byRel map[string][]fact.Fact
+	byArg map[argKey][]fact.Fact
+}
+
+func newRelIndex() *relIndex {
+	return &relIndex{
+		byRel: make(map[string][]fact.Fact),
+		byArg: make(map[argKey][]fact.Fact),
+	}
+}
+
+func indexInstance(i *fact.Instance) *relIndex {
+	idx := newRelIndex()
+	for _, f := range i.Facts() {
+		idx.add(f)
+	}
+	return idx
+}
+
+func (idx *relIndex) add(f fact.Fact) {
+	idx.byRel[f.Rel()] = append(idx.byRel[f.Rel()], f)
+	for p := 0; p < f.Arity(); p++ {
+		k := argKey{f.Rel(), p, f.Arg(p)}
+		idx.byArg[k] = append(idx.byArg[k], f)
+	}
+}
+
+// candidates returns the facts that can possibly match the atom under
+// the current bindings: the narrowest per-argument index available, or
+// the full relation when no argument is bound yet.
+func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
+	best := idx.byRel[a.Rel]
+	found := false
+	for p, t := range a.Args {
+		var v fact.Value
+		if t.IsVar() {
+			bound, ok := b[t.Var]
+			if !ok {
+				continue
+			}
+			v = bound
+		} else {
+			v = t.Const
+		}
+		cand := idx.byArg[argKey{a.Rel, p, v}]
+		if !found || len(cand) < len(best) {
+			best = cand
+			found = true
+		}
+	}
+	return best
+}
+
+// matchAtom attempts to extend the bindings so that the atom matches
+// the fact. It returns the variables newly bound (for backtracking)
+// and whether the match succeeded.
+func matchAtom(a Atom, f fact.Fact, b Bindings) ([]string, bool) {
+	if a.Rel != f.Rel() || len(a.Args) != f.Arity() {
+		return nil, false
+	}
+	var added []string
+	for i, t := range a.Args {
+		fv := f.Arg(i)
+		if t.IsVar() {
+			if bv, ok := b[t.Var]; ok {
+				if bv != fv {
+					unbind(b, added)
+					return nil, false
+				}
+			} else {
+				b[t.Var] = fv
+				added = append(added, t.Var)
+			}
+		} else if t.Const != fv {
+			unbind(b, added)
+			return nil, false
+		}
+	}
+	return added, true
+}
+
+func unbind(b Bindings, vars []string) {
+	for _, v := range vars {
+		delete(b, v)
+	}
+}
+
+// groundAtom applies the bindings to an atom, producing a fact. All
+// variables of the atom must be bound (guaranteed after the positive
+// body is matched, by safety).
+func groundAtom(a Atom, b Bindings) (fact.Fact, error) {
+	args := make(fact.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			v, ok := b[t.Var]
+			if !ok {
+				return fact.Fact{}, fmt.Errorf("datalog: unbound variable %s in %v", t.Var, a)
+			}
+			args[i] = v
+		} else {
+			args[i] = t.Const
+		}
+	}
+	return fact.FromTuple(a.Rel, args), nil
+}
+
+// termValue resolves a term under the bindings.
+func termValue(t Term, b Bindings) (fact.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	v, ok := b[t.Var]
+	return v, ok
+}
+
+// checkGuards verifies the negative atoms and inequalities of a rule
+// under complete bindings, against the instance held in idx.
+func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
+	for _, q := range r.Ineq {
+		av, aok := termValue(q.A, b)
+		bv, bok := termValue(q.B, b)
+		if !aok || !bok {
+			return false, fmt.Errorf("datalog: unbound variable in inequality %v", q)
+		}
+		if av == bv {
+			return false, nil
+		}
+	}
+	for _, a := range r.Neg {
+		g, err := groundAtom(a, b)
+		if err != nil {
+			return false, err
+		}
+		if data.Has(g) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalRule enumerates all satisfying valuations of r against data
+// (indexed in idx). If deltaAtom >= 0, the positive atom at that index
+// ranges over deltaFacts instead of the full index (the semi-naive
+// discipline); the other atoms range over the full index. Derived head
+// facts are passed to emit.
+func evalRule(r Rule, idx *relIndex, data *fact.Instance, deltaAtom int, deltaFacts []fact.Fact, emit func(fact.Fact) error) error {
+	b := make(Bindings)
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(r.Pos) {
+			ok, err := checkGuards(r, b, data)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			h, err := groundAtom(r.Head, b)
+			if err != nil {
+				return err
+			}
+			return emit(h)
+		}
+		var candidates []fact.Fact
+		if k == deltaAtom {
+			candidates = deltaFacts
+		} else {
+			candidates = idx.candidates(r.Pos[k], b)
+		}
+		for _, f := range candidates {
+			added, ok := matchAtom(r.Pos[k], f, b)
+			if !ok {
+				continue
+			}
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			unbind(b, added)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// Valuations enumerates every satisfying valuation of the rule against
+// the instance (Section 2): each valuation binds all variables of the
+// rule, satisfies the positive body, avoids the negative body, and
+// respects the inequalities. Used by the wILOG¬ evaluator, which
+// constructs head facts (possibly with invented values) itself.
+func Valuations(r Rule, data *fact.Instance, emit func(Bindings) error) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	idx := indexInstance(data)
+	b := make(Bindings)
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(r.Pos) {
+			ok, err := checkGuards(r, b, data)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			snapshot := make(Bindings, len(b))
+			for v, val := range b {
+				snapshot[v] = val
+			}
+			return emit(snapshot)
+		}
+		for _, f := range idx.candidates(r.Pos[k], b) {
+			added, ok := matchAtom(r.Pos[k], f, b)
+			if !ok {
+				continue
+			}
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			unbind(b, added)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// FixpointOptions configures fixpoint evaluation.
+type FixpointOptions struct {
+	Mode EvalMode
+	// MaxRounds bounds the number of TP applications; 0 means
+	// unbounded. Datalog¬ fixpoints always terminate on finite
+	// inputs, so the bound exists only for defensive use.
+	MaxRounds int
+}
+
+// Fixpoint computes the minimal fixpoint of the TP operator for a
+// semi-positive program on the input instance: the output P(I) of
+// Section 2, containing the input facts plus everything derivable.
+//
+// The program must be semi-positive — negated relations must not
+// occur in rule heads — otherwise the fixpoint is not well defined and
+// an error is returned. For stratified programs use EvalStratified.
+func (p *Program) Fixpoint(input *fact.Instance, opts FixpointOptions) (*fact.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.IsSemiPositive() {
+		return nil, fmt.Errorf("datalog: Fixpoint requires a semi-positive program; use EvalStratified")
+	}
+	return fixpointUnchecked(p.Rules, input, opts)
+}
+
+// fixpointUnchecked runs the fixpoint loop assuming negated relations
+// are static (semi-positive, or a stratum of a stratified program).
+func fixpointUnchecked(rules []Rule, input *fact.Instance, opts FixpointOptions) (*fact.Instance, error) {
+	full := input.Clone()
+	idx := indexInstance(full)
+
+	switch opts.Mode {
+	case Naive:
+		return naiveLoop(rules, full, idx, opts.MaxRounds)
+	case SemiNaive:
+		return semiNaiveLoop(rules, full, idx, opts.MaxRounds)
+	default:
+		return nil, fmt.Errorf("datalog: unknown evaluation mode %d", opts.Mode)
+	}
+}
+
+func naiveLoop(rules []Rule, full *fact.Instance, idx *relIndex, maxRounds int) (*fact.Instance, error) {
+	for round := 0; ; round++ {
+		if maxRounds > 0 && round >= maxRounds {
+			return nil, fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
+		}
+		var derived []fact.Fact
+		for _, r := range rules {
+			err := evalRule(r, idx, full, -1, nil, func(h fact.Fact) error {
+				if !full.Has(h) {
+					derived = append(derived, h)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		changed := false
+		for _, h := range derived {
+			if full.Add(h) {
+				idx.add(h)
+				changed = true
+			}
+		}
+		if !changed {
+			return full, nil
+		}
+	}
+}
+
+func semiNaiveLoop(rules []Rule, full *fact.Instance, idx *relIndex, maxRounds int) (*fact.Instance, error) {
+	// Round 0 is a naive pass; afterwards, each rule is re-evaluated
+	// once per positive atom whose relation gained facts, with that
+	// atom restricted to the delta.
+	delta := fact.NewInstance()
+	for _, r := range rules {
+		err := evalRule(r, idx, full, -1, nil, func(h fact.Fact) error {
+			if !full.Has(h) {
+				delta.Add(h)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range delta.Facts() {
+		full.Add(h)
+		idx.add(h)
+	}
+
+	for round := 1; !delta.Empty(); round++ {
+		if maxRounds > 0 && round >= maxRounds {
+			return nil, fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
+		}
+		deltaIdx := indexInstance(delta)
+		next := fact.NewInstance()
+		for _, r := range rules {
+			for k := range r.Pos {
+				dfacts := deltaIdx.byRel[r.Pos[k].Rel]
+				if len(dfacts) == 0 {
+					continue
+				}
+				err := evalRule(r, idx, full, k, dfacts, func(h fact.Fact) error {
+					if !full.Has(h) {
+						next.Add(h)
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, h := range next.Facts() {
+			full.Add(h)
+			idx.add(h)
+		}
+		delta = next
+	}
+	return full, nil
+}

@@ -1,0 +1,78 @@
+package datalog_test
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+// Evaluate transitive closure with the semi-naive fixpoint.
+func ExampleProgram_Fixpoint() {
+	p := datalog.MustParseProgram(`
+		T(x,y) :- E(x,y).
+		T(x,z) :- T(x,y), E(y,z).
+	`)
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	out, err := p.Fixpoint(in, datalog.FixpointOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range out.Rel("T") {
+		fmt.Println(f)
+	}
+	// Output:
+	// T(a,b)
+	// T(a,c)
+	// T(b,c)
+}
+
+// Stratified negation: the complement of reachability.
+func ExampleProgram_EvalStratified() {
+	p := datalog.MustParseProgram(`
+		T(x,y)  :- E(x,y).
+		T(x,z)  :- T(x,y), E(y,z).
+		Adom(x) :- E(x,y).
+		Adom(y) :- E(x,y).
+		O(x,y)  :- Adom(x), Adom(y), !T(x,y).
+	`)
+	out, err := p.EvalStratified(fact.MustParseInstance(`E(a,b)`), datalog.FixpointOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range out.Rel("O") {
+		fmt.Println(f)
+	}
+	// Output:
+	// O(a,a)
+	// O(b,a)
+	// O(b,b)
+}
+
+// Classify a program into the fragments of the paper's Figure 2.
+func ExampleProgram_Classify() {
+	qtc := datalog.MustParseProgram(`
+		T(x,y)  :- E(x,y).
+		T(x,z)  :- T(x,y), E(y,z).
+		Adom(x) :- E(x,y).
+		Adom(y) :- E(x,y).
+		O(x,y)  :- Adom(x), Adom(y), !T(x,y).
+	`)
+	winmove := datalog.MustParseProgram(`Win(x) :- Move(x,y), !Win(y).`)
+	fmt.Println(qtc.Classify())
+	fmt.Println(winmove.Classify())
+	// Output:
+	// semicon-Datalog¬
+	// unstratifiable
+}
+
+// graph+ connectivity of individual rules (Section 5.1).
+func ExampleRule_IsConnected() {
+	chain, _ := datalog.ParseRule(`O(x,z) :- E(x,y), E(y,z).`)
+	product, _ := datalog.ParseRule(`O(x,u) :- E(x,y), E(u,v).`)
+	fmt.Println(chain.IsConnected())
+	fmt.Println(product.IsConnected())
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,160 @@
+package datalog
+
+import (
+	"testing"
+)
+
+func TestParseProgramBasic(t *testing.T) {
+	p, err := ParseProgram(`
+		# transitive closure
+		T(x,y) :- E(x,y).
+		T(x,z) :- T(x,y), E(y,z).
+	`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(p.Rules))
+	}
+	if p.Rules[0].String() != "T(x,y) :- E(x,y)." {
+		t.Errorf("rule 0 = %q", p.Rules[0])
+	}
+}
+
+func TestParseNegationForms(t *testing.T) {
+	for _, src := range []string{
+		`O(x) :- A(x), !B(x).`,
+		`O(x) :- A(x), not B(x).`,
+		`O(x) :- A(x), ¬B(x).`,
+	} {
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Errorf("ParseProgram(%q): %v", src, err)
+			continue
+		}
+		r := p.Rules[0]
+		if len(r.Neg) != 1 || r.Neg[0].Rel != "B" {
+			t.Errorf("%q: Neg = %v", src, r.Neg)
+		}
+	}
+}
+
+func TestParseInequalityForms(t *testing.T) {
+	for _, src := range []string{
+		`O(x,y) :- E(x,y), x != y.`,
+		`O(x,y) :- E(x,y), x ≠ y.`,
+		`O(x,y) :- E(x,y), x <> y.`,
+	} {
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Errorf("ParseProgram(%q): %v", src, err)
+			continue
+		}
+		r := p.Rules[0]
+		if len(r.Ineq) != 1 {
+			t.Errorf("%q: Ineq = %v", src, r.Ineq)
+		}
+	}
+}
+
+func TestParseArrowForms(t *testing.T) {
+	a := MustParseProgram(`O(x) :- A(x).`)
+	b := MustParseProgram(`O(x) <- A(x).`)
+	if a.String() != b.String() {
+		t.Errorf(":- and <- should parse identically: %q vs %q", a, b)
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	p := MustParseProgram(`O(x) :- E(x,"target"), R(x, 42).`)
+	r := p.Rules[0]
+	if r.Pos[0].Args[1].IsVar() || r.Pos[0].Args[1].Const != "target" {
+		t.Errorf("quoted constant: %v", r.Pos[0].Args[1])
+	}
+	if r.Pos[1].Args[1].IsVar() || r.Pos[1].Args[1].Const != "42" {
+		t.Errorf("numeric constant: %v", r.Pos[1].Args[1])
+	}
+}
+
+func TestParsePaperExample51P1(t *testing.T) {
+	// Example 5.1 P1 from the paper (with explicit Adom as edb here).
+	p, err := ParseProgram(`
+		T(x) :- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z.
+		O(x) :- ¬T(x), Adom(x).
+	`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	r0 := p.Rules[0]
+	if len(r0.Pos) != 3 || len(r0.Ineq) != 3 {
+		t.Errorf("P1 rule 1 parsed wrong: %v", r0)
+	}
+	r1 := p.Rules[1]
+	if len(r1.Neg) != 1 || len(r1.Pos) != 1 {
+		t.Errorf("P1 rule 2 parsed wrong: %v", r1)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,                         // skipped below: the empty program is valid
+		`O(x)`,                     // missing arrow
+		`O(x) :- A(x)`,             // missing dot
+		`O(x) :- .`,                // empty body
+		`O(x) :- A(x), !B(x)`,      // missing dot after negation
+		`:- A(x).`,                 // missing head
+		`O(x) :- A(y).`,            // unsafe (validation)
+		`O() :- A(x).`,             // nullary head
+		`O(x) :- A(x,), B(x).`,     // stray comma
+		`O(x) :- A(x) B(x).`,       // missing comma
+		`O(x) :- A(x), x ! y.`,     // lone bang misuse
+		`O(x,x2) :- A(x), x2 < x.`, // unsupported comparison
+	}
+	for _, s := range bad {
+		if s == "" {
+			continue
+		}
+		if _, err := ParseProgram(s); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	p, err := ParseProgram("  # nothing here\n")
+	if err != nil {
+		t.Fatalf("empty program: %v", err)
+	}
+	if len(p.Rules) != 0 {
+		t.Errorf("empty program has %d rules", len(p.Rules))
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`T(x,y) :- E(x,y).`,
+		`T(x,z) :- T(x,y), E(y,z).`,
+		`O(x) :- A(x), !B(x), x != y, A(y).`,
+		`Win(x) :- Move(x,y), !Win(y).`,
+	}
+	for _, src := range srcs {
+		p1 := MustParseProgram(src)
+		p2 := MustParseProgram(p1.String())
+		if p1.String() != p2.String() {
+			t.Errorf("round trip failed:\n%s\n%s", p1, p2)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule(`O(x) :- A(x).`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Head.Rel != "O" {
+		t.Errorf("head = %v", r.Head)
+	}
+	if _, err := ParseRule(`O(x) :- A(x). P(x) :- A(x).`); err == nil {
+		t.Error("ParseRule should reject multiple rules")
+	}
+}

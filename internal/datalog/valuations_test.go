@@ -1,0 +1,157 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fact"
+)
+
+func TestValuationsEnumerates(t *testing.T) {
+	r, err := ParseRule(`P(x,z) :- E(x,y), E(y,z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fact.MustParseInstance(`E(a,b) E(b,c) E(b,d)`)
+	var got []string
+	err = Valuations(r, data, func(b Bindings) error {
+		got = append(got, fmt.Sprintf("x=%s y=%s z=%s", b["x"], b["y"], b["z"]))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d valuations, want 2: %v", len(got), got)
+	}
+}
+
+func TestValuationsGuards(t *testing.T) {
+	r, err := ParseRule(`P(x,y) :- E(x,y), !F(x), x != y.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fact.MustParseInstance(`E(a,b) E(b,b) E(c,d) F(c)`)
+	count := 0
+	err = Valuations(r, data, func(b Bindings) error {
+		count++
+		if b["x"] != "a" {
+			t.Errorf("unexpected valuation %v", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E(b,b) fails x != y; E(c,d) fails !F(c); only E(a,b) survives.
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestValuationsSnapshotIsolated(t *testing.T) {
+	// Bindings handed to emit must be stable snapshots.
+	r, err := ParseRule(`P(x) :- E(x,y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fact.MustParseInstance(`E(a,b) E(c,d)`)
+	var seen []Bindings
+	if err := Valuations(r, data, func(b Bindings) error {
+		seen = append(seen, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0]["x"] == seen[1]["x"] {
+		t.Errorf("snapshots aliased: %v", seen)
+	}
+}
+
+func TestValuationsErrorPropagates(t *testing.T) {
+	r, _ := ParseRule(`P(x) :- E(x,y).`)
+	data := fact.MustParseInstance(`E(a,b)`)
+	sentinel := fmt.Errorf("stop")
+	if err := Valuations(r, data, func(Bindings) error { return sentinel }); err != sentinel {
+		t.Errorf("emit error not propagated: %v", err)
+	}
+}
+
+// Valuation count of a single-atom rule equals the relation size; the
+// rule P(x,y) :- E(x,y) has exactly one valuation per fact.
+func TestValuationsCountProperty(t *testing.T) {
+	r, _ := ParseRule(`P(x,y) :- E(x,y).`)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := fact.NewInstance()
+		n := rng.Intn(10)
+		for k := 0; k < n; k++ {
+			data.Add(fact.New("E",
+				fact.Value(fmt.Sprintf("v%d", rng.Intn(5))),
+				fact.Value(fmt.Sprintf("v%d", rng.Intn(5)))))
+		}
+		count := 0
+		if err := Valuations(r, data, func(Bindings) error { count++; return nil }); err != nil {
+			return false
+		}
+		return count == data.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleOutputRelations(t *testing.T) {
+	p := MustParseProgram(`
+		A(x) :- E(x,y).
+		B(y) :- E(x,y).
+	`)
+	q, err := NewQuery(p, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.Eval(fact.MustParseInstance(`E(a,b)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(fact.MustParseInstance(`A(a) B(b)`)) {
+		t.Errorf("multi-output query = %v", out)
+	}
+}
+
+func TestConstantInHead(t *testing.T) {
+	p := MustParseProgram(`O(x, "tag") :- E(x,y).`)
+	out, err := p.Fixpoint(fact.MustParseInstance(`E(a,b)`), FixpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(fact.New("O", "a", "tag")) {
+		t.Errorf("constant head not derived: %v", out)
+	}
+}
+
+func TestSelfJoinRule(t *testing.T) {
+	// The same relation twice in one body with shared variables.
+	p := MustParseProgram(`O(x) :- E(x,y), E(y,x).`)
+	out, err := p.Fixpoint(fact.MustParseInstance(`E(a,b) E(b,a) E(c,d)`), FixpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(fact.New("O", "a")) || !out.Has(fact.New("O", "b")) || out.Has(fact.New("O", "c")) {
+		t.Errorf("self-join wrong: %v", out)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	// R(x,x) matches only facts with equal arguments.
+	p := MustParseProgram(`O(x) :- E(x,x).`)
+	out, err := p.Fixpoint(fact.MustParseInstance(`E(a,a) E(a,b)`), FixpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(fact.New("O", "a")) || out.Len() != 3 {
+		t.Errorf("repeated-variable matching wrong: %v", out)
+	}
+}

@@ -1,0 +1,191 @@
+// Package experiments provides reusable drivers for the reproduction
+// harness: the bounded-hierarchy membership matrix of Figure 1
+// (which parameterized query sits in which bounded monotonicity
+// class), shared by cmd/experiments and the test suite.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fact"
+	"repro/internal/generate"
+	"repro/internal/monotone"
+	"repro/internal/queries"
+)
+
+// MatrixRow is one cell of the bounded-hierarchy matrix: whether the
+// query belongs to the class, expected from the theory and observed by
+// the harness (exact witness for non-membership, sampling for
+// membership).
+type MatrixRow struct {
+	Query    string
+	Class    monotone.Class
+	Expected bool
+	Observed bool
+	// Witness explains a non-membership observation.
+	Witness string
+}
+
+// Agrees reports whether theory and observation match.
+func (r MatrixRow) Agrees() bool { return r.Expected == r.Observed }
+
+// cliqueExtensionWitness returns the Theorem 3.1(3) pair for
+// Q^k_clique vs Mⁱdistinct: I an (k-1)-clique, J a star of k-1
+// domain-distinct facts from a fresh center.
+func cliqueExtensionWitness(k int) (*fact.Instance, *fact.Instance) {
+	i := generate.Clique("v", k-1)
+	j := fact.NewInstance()
+	for _, v := range generate.Values("v", k-1) {
+		j.Add(fact.New("E", "center", v))
+	}
+	return i, j
+}
+
+// cliqueFreshWitness returns the disjoint pair for Q^k_clique vs
+// Mⁱdisjoint: a fresh one-direction-per-pair clique of C(k,2) facts.
+func cliqueFreshWitness(k int) (*fact.Instance, *fact.Instance) {
+	i := fact.MustParseInstance(`E(a,b)`)
+	j := fact.NewInstance()
+	vs := generate.Values("x", k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			j.Add(fact.New("E", vs[a], vs[b]))
+		}
+	}
+	return i, j
+}
+
+// starSpokeWitness returns the Theorem 3.1(6) pair for Q^k_star vs
+// Mⁱdistinct: a (k-1)-spoke star plus one distinct edge from the old
+// center.
+func starSpokeWitness(k int) (*fact.Instance, *fact.Instance) {
+	return generate.Star("c", "s", k-1), fact.MustParseInstance(`E(c,new)`)
+}
+
+// starFreshWitness returns the Theorem 3.1(4) pair for Q^k_star vs
+// Mⁱdisjoint: a fresh star of k disjoint facts.
+func starFreshWitness(k int) (*fact.Instance, *fact.Instance) {
+	return fact.MustParseInstance(`E(a,b)`), generate.Star("c", "t", k)
+}
+
+// duplicateWitness returns the Theorem 3.1(7) pair for Q^j_duplicate:
+// a fresh tuple replicated across all j relations.
+func duplicateWitness(j int) (*fact.Instance, *fact.Instance) {
+	i := fact.MustParseInstance(`R1(a,b)`)
+	dup := fact.NewInstance()
+	for n := 1; n <= j; n++ {
+		dup.Add(fact.New(fmt.Sprintf("R%d", n), "x", "y"))
+	}
+	return i, dup
+}
+
+// graphSampler produces random graph pairs for membership sampling.
+func graphSampler(rng *rand.Rand) (*fact.Instance, *fact.Instance) {
+	i := generate.RandomGraph(rng, "v", 4, 5)
+	pool := append(generate.Values("v", 4), generate.Values("w", 4)...)
+	j := generate.Random(rng, fact.GraphSchema(), pool, 4)
+	return i, j
+}
+
+// duplicateSampler produces random pairs over the R1..Rj schema.
+func duplicateSampler(j int) monotone.Sampler {
+	schema := queries.DuplicateSchema(j)
+	return func(rng *rand.Rand) (*fact.Instance, *fact.Instance) {
+		i := generate.Random(rng, schema, generate.Values("v", 4), 5)
+		pool := append(generate.Values("v", 4), generate.Values("w", 3)...)
+		return i, generate.Random(rng, schema, pool, 4)
+	}
+}
+
+// checkCell determines observed membership of q in c: if the provided
+// witness pair (when non-nil and allowed by c) violates monotonicity,
+// the query is observed outside the class; otherwise sampling must
+// stay clean for an inside observation.
+func checkCell(q monotone.Query, c monotone.Class, wi, wj *fact.Instance, s monotone.Sampler, trials int) (bool, string, error) {
+	if wi != nil && c.Allows(wj, wi) {
+		w, err := monotone.CheckPair(q, wi, wj)
+		if err != nil {
+			return false, "", err
+		}
+		if w != nil {
+			return false, fmt.Sprintf("loses %v", w.Missing), nil
+		}
+	}
+	w, err := monotone.FindViolation(q, c, monotone.ClassSampler(c, s), 4242, trials)
+	if err != nil {
+		return false, "", err
+	}
+	if w != nil {
+		return false, fmt.Sprintf("sampled violation %v", w.Missing), nil
+	}
+	return true, "", nil
+}
+
+// BoundedMatrix computes the bounded-hierarchy membership matrix for
+// the clique, star and duplicate families up to the given bound.
+// Expected values follow Theorem 3.1:
+//
+//   - Q^k_clique ∈ Mⁱdistinct iff i ≤ k-2; ∈ Mⁱdisjoint iff i < C(k,2);
+//   - Q^k_star   ∈ Mⁱdistinct never;      ∈ Mⁱdisjoint iff i ≤ k-1;
+//   - Q^j_dup    ∈ Mⁱdistinct iff i < j;  ∈ Mⁱdisjoint iff i < j.
+func BoundedMatrix(maxBound, trials int) ([]MatrixRow, error) {
+	var rows []MatrixRow
+
+	add := func(name string, q monotone.Query, c monotone.Class, expected bool, wi, wj *fact.Instance, s monotone.Sampler) error {
+		observed, witness, err := checkCell(q, c, wi, wj, s, trials)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, MatrixRow{Query: name, Class: c, Expected: expected, Observed: observed, Witness: witness})
+		return nil
+	}
+
+	for _, k := range []int{3, 4} {
+		q := queries.KClique(k)
+		name := fmt.Sprintf("Q^%d_clique", k)
+		for i := 1; i <= maxBound; i++ {
+			wi, wj := cliqueExtensionWitness(k)
+			if err := add(name, q, monotone.MiDistinct(i), i <= k-2, wi, wj, graphSampler); err != nil {
+				return nil, err
+			}
+			fi, fj := cliqueFreshWitness(k)
+			undirected := k * (k - 1) / 2
+			if err := add(name, q, monotone.MiDisjoint(i), i < undirected, fi, fj, graphSampler); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, k := range []int{2, 3} {
+		q := queries.KStar(k)
+		name := fmt.Sprintf("Q^%d_star", k)
+		for i := 1; i <= maxBound; i++ {
+			wi, wj := starSpokeWitness(k)
+			if err := add(name, q, monotone.MiDistinct(i), false, wi, wj, graphSampler); err != nil {
+				return nil, err
+			}
+			fi, fj := starFreshWitness(k)
+			if err := add(name, q, monotone.MiDisjoint(i), i <= k-1, fi, fj, graphSampler); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, j := range []int{2, 3} {
+		q := queries.Duplicate(j)
+		name := fmt.Sprintf("Q^%d_duplicate", j)
+		s := duplicateSampler(j)
+		for i := 1; i <= maxBound; i++ {
+			wi, wj := duplicateWitness(j)
+			if err := add(name, q, monotone.MiDistinct(i), i < j, wi, wj, s); err != nil {
+				return nil, err
+			}
+			if err := add(name, q, monotone.MiDisjoint(i), i < j, wi, wj, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return rows, nil
+}

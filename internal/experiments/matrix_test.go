@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The bounded-hierarchy matrix must agree with Theorem 3.1 in every
+// cell: clique, star and duplicate families against Mⁱdistinct and
+// Mⁱdisjoint for i = 1..3.
+func TestBoundedMatrixAgrees(t *testing.T) {
+	rows, err := BoundedMatrix(3, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty matrix")
+	}
+	for _, r := range rows {
+		if !r.Agrees() {
+			t.Errorf("%s vs %v: expected member=%v, observed member=%v (%s)",
+				r.Query, r.Class, r.Expected, r.Observed, r.Witness)
+		}
+	}
+}
+
+// Spot-check a few cells against the hand-derived expectations.
+func TestBoundedMatrixSpotCells(t *testing.T) {
+	rows, err := BoundedMatrix(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(query, class string) *MatrixRow {
+		for i := range rows {
+			if rows[i].Query == query && rows[i].Class.String() == class {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("cell %s/%s missing", query, class)
+		return nil
+	}
+	cases := []struct {
+		query, class string
+		member       bool
+	}{
+		{"Q^3_clique", "M^1_distinct", true},
+		{"Q^3_clique", "M^2_distinct", false},
+		{"Q^3_clique", "M^2_disjoint", true},
+		{"Q^3_clique", "M^3_disjoint", false},
+		{"Q^4_clique", "M^2_distinct", true},
+		{"Q^4_clique", "M^3_distinct", false},
+		{"Q^2_star", "M^1_distinct", false},
+		{"Q^2_star", "M^1_disjoint", true},
+		{"Q^2_star", "M^2_disjoint", false},
+		{"Q^3_star", "M^2_disjoint", true},
+		{"Q^3_star", "M^3_disjoint", false},
+		{"Q^3_duplicate", "M^2_distinct", true},
+		{"Q^3_duplicate", "M^3_distinct", false},
+		{"Q^3_duplicate", "M^2_disjoint", true},
+		{"Q^3_duplicate", "M^3_disjoint", false},
+	}
+	for _, c := range cases {
+		r := find(c.query, c.class)
+		if r.Observed != c.member {
+			t.Errorf("%s vs %s: observed %v, want %v", c.query, c.class, r.Observed, c.member)
+		}
+	}
+}

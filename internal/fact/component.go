@@ -1,0 +1,107 @@
+package fact
+
+// This file implements components of an instance (Section 5.1,
+// Definition 5 context): J is a component of I when J ⊆ I, J ≠ ∅,
+// adom(J) ∩ adom(I\J) = ∅, and J is minimal with this property.
+// Components partition I by connectivity of the "shares a value" graph
+// on facts; they are computed here with a union-find over adom(I).
+
+// unionFind is a classic disjoint-set structure over integer ids with
+// path compression and union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(x, y int) {
+	rx, ry := uf.find(x), uf.find(y)
+	if rx == ry {
+		return
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+}
+
+// Components returns co(I), the components of I, in a deterministic
+// order (sorted by the smallest fact of each component). The components
+// partition I, each is nonempty, and distinct components have disjoint
+// active domains.
+func Components(i *Instance) []*Instance {
+	values := i.ADom().Sorted()
+	id := make(map[Value]int, len(values))
+	for n, v := range values {
+		id[v] = n
+	}
+	uf := newUnionFind(len(values))
+	i.Each(func(f Fact) bool {
+		first := id[f.Arg(0)]
+		for n := 1; n < f.Arity(); n++ {
+			uf.union(first, id[f.Arg(n)])
+		}
+		return true
+	})
+
+	groups := make(map[int]*Instance)
+	for _, f := range i.Facts() {
+		root := uf.find(id[f.Arg(0)])
+		g, ok := groups[root]
+		if !ok {
+			g = NewInstance()
+			groups[root] = g
+		}
+		g.Add(f)
+	}
+
+	// Deterministic order: Facts() above is sorted, so the first fact
+	// added to each group is its minimum; order groups by that fact.
+	out := make([]*Instance, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sortInstancesByMinFact(out)
+	return out
+}
+
+func sortInstancesByMinFact(xs []*Instance) {
+	min := func(g *Instance) Fact { return g.Facts()[0] }
+	for a := 1; a < len(xs); a++ {
+		for b := a; b > 0 && min(xs[b]).Compare(min(xs[b-1])) < 0; b-- {
+			xs[b], xs[b-1] = xs[b-1], xs[b]
+		}
+	}
+}
+
+// IsComponent reports whether J is a component of I per the definition
+// in Section 5.1: J ⊆ I, J nonempty, adom(J) ∩ adom(I\J) = ∅, and no
+// strict nonempty subset J' of J has adom(J') ∩ adom(I\J') = ∅.
+func IsComponent(j, i *Instance) bool {
+	if j.Empty() || !j.SubsetOf(i) {
+		return false
+	}
+	if !j.ADom().Disjoint(i.Minus(j).ADom()) {
+		return false
+	}
+	// Minimality: J must itself be a single component.
+	return len(Components(j)) == 1
+}

@@ -1,0 +1,122 @@
+package fact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsBasic(t *testing.T) {
+	i := inst("E(a,b)", "E(b,c)", "E(x,y)")
+	cs := Components(i)
+	if len(cs) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(cs), cs)
+	}
+	if !cs[0].Equal(inst("E(a,b)", "E(b,c)")) {
+		t.Errorf("component 0 = %v", cs[0])
+	}
+	if !cs[1].Equal(inst("E(x,y)")) {
+		t.Errorf("component 1 = %v", cs[1])
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	if cs := Components(NewInstance()); len(cs) != 0 {
+		t.Errorf("empty instance has %d components, want 0", len(cs))
+	}
+}
+
+func TestComponentsSingleFact(t *testing.T) {
+	cs := Components(inst("E(a,a)"))
+	if len(cs) != 1 || cs[0].Len() != 1 {
+		t.Errorf("Components({E(a,a)}) = %v", cs)
+	}
+}
+
+func TestComponentsCrossRelation(t *testing.T) {
+	// Facts of different relations sharing a value belong to one component.
+	i := inst("E(a,b)", "R(b,c,d)", "S(z)")
+	cs := Components(i)
+	if len(cs) != 2 {
+		t.Fatalf("got %d components, want 2", len(cs))
+	}
+}
+
+func TestComponentsChainViaMiddlePosition(t *testing.T) {
+	// Connectivity uses every argument position, not just the first.
+	i := inst("T(a,m,b)", "T(c,m,d)")
+	if cs := Components(i); len(cs) != 1 {
+		t.Errorf("facts sharing middle value split into %d components", len(cs))
+	}
+}
+
+func TestComponentsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		i := randomGraph(rng, 6, 5)
+		cs := Components(i)
+
+		// Components partition I.
+		u := NewInstance()
+		total := 0
+		for _, c := range cs {
+			total += c.Len()
+			u.AddAll(c)
+		}
+		if total != i.Len() || !u.Equal(i) {
+			t.Fatalf("components do not partition %v: %v", i, cs)
+		}
+
+		// Pairwise adom-disjoint, each a valid component.
+		for a := range cs {
+			if !IsComponent(cs[a], i) {
+				t.Fatalf("returned non-component %v of %v", cs[a], i)
+			}
+			for b := a + 1; b < len(cs); b++ {
+				if !cs[a].ADom().Disjoint(cs[b].ADom()) {
+					t.Fatalf("components %v and %v share values", cs[a], cs[b])
+				}
+			}
+		}
+	}
+}
+
+func TestIsComponentRejects(t *testing.T) {
+	i := inst("E(a,b)", "E(b,c)", "E(x,y)")
+	// Non-minimal union of two components.
+	if IsComponent(i, i) {
+		t.Error("whole two-component instance accepted as a component")
+	}
+	// Subset that shares values with the rest.
+	if IsComponent(inst("E(a,b)"), i) {
+		t.Error("subset sharing value b with E(b,c) accepted as component")
+	}
+	// Empty set.
+	if IsComponent(NewInstance(), i) {
+		t.Error("empty set accepted as component")
+	}
+	// Not a subset of I.
+	if IsComponent(inst("E(q,q)"), i) {
+		t.Error("non-subset accepted as component")
+	}
+	// A genuine component.
+	if !IsComponent(inst("E(x,y)"), i) {
+		t.Error("genuine component rejected")
+	}
+}
+
+// co(I ∪ J) = co(I) ∪ co(J) for domain-disjoint I, J (used in Thm 5.3).
+func TestComponentsOfDisjointUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		i := randomGraph(rng, 4, 4)
+		j := randomGraphValues(rng, 4, 4, "w")
+		if !DomainDisjoint(j, i) {
+			t.Fatal("generator broke disjointness")
+		}
+		all := Components(i.Union(j))
+		want := len(Components(i)) + len(Components(j))
+		if len(all) != want {
+			t.Fatalf("co(I∪J) has %d components, want %d", len(all), want)
+		}
+	}
+}

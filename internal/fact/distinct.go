@@ -1,0 +1,82 @@
+package fact
+
+// This file implements the notions of Section 3.1 of the paper:
+// domain-distinct and domain-disjoint facts and instances. They underpin
+// the weaker forms of monotonicity (Mdistinct and Mdisjoint).
+
+// DomainDistinctFact reports whether f is domain distinct from I:
+// adom(f) \ adom(I) ≠ ∅, i.e. f contains at least one value that does
+// not occur in I.
+func DomainDistinctFact(f Fact, i *Instance) bool {
+	ad := i.ADom()
+	for n := 0; n < f.Arity(); n++ {
+		if !ad.Has(f.Arg(n)) {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainDisjointFact reports whether f is domain disjoint from I:
+// adom(f) ∩ adom(I) = ∅, i.e. f contains only values not occurring in I.
+func DomainDisjointFact(f Fact, i *Instance) bool {
+	ad := i.ADom()
+	for n := 0; n < f.Arity(); n++ {
+		if ad.Has(f.Arg(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// DomainDistinct reports whether the instance J is domain distinct from
+// I: every fact of J contains at least one value not occurring in I.
+func DomainDistinct(j, i *Instance) bool {
+	ad := i.ADom()
+	ok := true
+	j.Each(func(f Fact) bool {
+		hasNew := false
+		for n := 0; n < f.Arity(); n++ {
+			if !ad.Has(f.Arg(n)) {
+				hasNew = true
+				break
+			}
+		}
+		if !hasNew {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// DomainDisjoint reports whether the instance J is domain disjoint from
+// I: no fact of J contains any value occurring in I. Equivalently,
+// adom(J) ∩ adom(I) = ∅.
+func DomainDisjoint(j, i *Instance) bool {
+	return j.ADom().Disjoint(i.ADom())
+}
+
+// InducedSubinstance returns the induced subinstance of I on the value
+// set C: {f ∈ I | adom(f) ⊆ C}. Per Section 3.2, J is an induced
+// subinstance of I exactly when J = InducedSubinstance(I, adom(J)).
+func InducedSubinstance(i *Instance, c ValueSet) *Instance {
+	out := NewInstance()
+	i.Each(func(f Fact) bool {
+		for n := 0; n < f.Arity(); n++ {
+			if !c.Has(f.Arg(n)) {
+				return true
+			}
+		}
+		out.Add(f)
+		return true
+	})
+	return out
+}
+
+// IsInducedSubinstance reports whether J is an induced subinstance of I:
+// J = {f ∈ I | adom(f) ⊆ adom(J)}.
+func IsInducedSubinstance(j, i *Instance) bool {
+	return j.Equal(InducedSubinstance(i, j.ADom()))
+}

@@ -1,0 +1,105 @@
+package fact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fact is a ground atom R(d1, ..., dk): a relation name applied to a
+// tuple of domain values. Facts are immutable once created; all
+// operations that appear to modify a fact return a fresh one.
+type Fact struct {
+	rel  string
+	args Tuple
+}
+
+// New creates the fact rel(args...). The relation name must be nonempty
+// and, matching the paper's convention (Section 2), the arity must be at
+// least one: nullary facts are not representable.
+func New(rel string, args ...Value) Fact {
+	if rel == "" {
+		panic("fact: empty relation name")
+	}
+	if len(args) == 0 {
+		panic("fact: nullary facts are not supported (arity must be >= 1)")
+	}
+	t := make(Tuple, len(args))
+	copy(t, args)
+	return Fact{rel: rel, args: t}
+}
+
+// FromTuple creates the fact rel(t...) sharing no storage with t.
+func FromTuple(rel string, t Tuple) Fact {
+	return New(rel, t...)
+}
+
+// Rel returns the relation name of the fact.
+func (f Fact) Rel() string { return f.rel }
+
+// Arity returns the number of arguments.
+func (f Fact) Arity() int { return len(f.args) }
+
+// Arg returns the i-th argument (0-based).
+func (f Fact) Arg(i int) Value { return f.args[i] }
+
+// Args returns a copy of the argument tuple.
+func (f Fact) Args() Tuple { return f.args.Clone() }
+
+// ADom returns the set of domain values occurring in the fact,
+// written adom(f) in the paper.
+func (f Fact) ADom() ValueSet {
+	s := make(ValueSet, len(f.args))
+	for _, v := range f.args {
+		s.Add(v)
+	}
+	return s
+}
+
+// Key returns a canonical string encoding of the fact, usable as a map
+// key. Distinct facts have distinct keys provided no value contains a
+// NUL byte (which the parsers reject).
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.Grow(len(f.rel) + 8*len(f.args))
+	b.WriteString(f.rel)
+	for _, v := range f.args {
+		b.WriteByte(0)
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Equal reports whether two facts have the same relation name and arguments.
+func (f Fact) Equal(g Fact) bool {
+	return f.rel == g.rel && f.args.Equal(g.args)
+}
+
+// Compare orders facts by relation name, then by argument tuple.
+func (f Fact) Compare(g Fact) int {
+	if f.rel != g.rel {
+		if f.rel < g.rel {
+			return -1
+		}
+		return 1
+	}
+	return f.args.Compare(g.args)
+}
+
+// Map returns the fact obtained by applying h to every argument, i.e.
+// R(h(d1), ..., h(dk)). Values not present in h map to themselves.
+func (f Fact) Map(h map[Value]Value) Fact {
+	args := make(Tuple, len(f.args))
+	for i, v := range f.args {
+		if w, ok := h[v]; ok {
+			args[i] = w
+		} else {
+			args[i] = v
+		}
+	}
+	return Fact{rel: f.rel, args: args}
+}
+
+// String renders the fact in the conventional syntax, e.g. "E(a,b)".
+func (f Fact) String() string {
+	return fmt.Sprintf("%s(%s)", f.rel, f.args.String())
+}

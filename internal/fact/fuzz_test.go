@@ -1,0 +1,51 @@
+package fact
+
+import "testing"
+
+// FuzzParseFact checks the fact parser never panics and that every
+// accepted fact survives a print/parse round trip.
+func FuzzParseFact(f *testing.F) {
+	for _, seed := range []string{
+		"E(a,b)", "R(x)", `T("quoted value", y)`, "E(a,", "E", "", "E()",
+		"Move(n1,n2)", `R("\")`, "E(a,b) trailing",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fc, err := ParseFact(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseFact(fc.String())
+		if err != nil {
+			t.Fatalf("accepted fact %q prints unparseable form %q: %v", s, fc.String(), err)
+		}
+		if !back.Equal(fc) {
+			t.Fatalf("round trip changed fact: %v vs %v", fc, back)
+		}
+	})
+}
+
+// FuzzParseInstance checks the instance parser never panics and that
+// parsing is idempotent through the printed form.
+func FuzzParseInstance(f *testing.F) {
+	for _, seed := range []string{
+		"E(a,b)\nE(b,c)", "# comment\nR(x), S(y)", "", "E(a", "%%%",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		i, err := ParseInstance(s)
+		if err != nil {
+			return
+		}
+		printed := i.String()
+		back, err := ParseInstance(printed[1 : len(printed)-1])
+		if err != nil {
+			t.Fatalf("accepted instance prints unparseable form %q: %v", printed, err)
+		}
+		if !back.Equal(i) {
+			t.Fatalf("round trip changed instance: %v vs %v", i, back)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package fact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFindHomomorphismBasic(t *testing.T) {
+	// A path of length 2 maps homomorphically onto a single loop edge.
+	path := inst("E(a,b)", "E(b,c)")
+	loop := inst("E(x,x)")
+	h, ok := FindHomomorphism(path, loop, false)
+	if !ok {
+		t.Fatal("no homomorphism from path to loop found")
+	}
+	if !IsHomomorphism(h, path, loop) {
+		t.Fatalf("returned mapping %v is not a homomorphism", h)
+	}
+	// But not injectively.
+	if _, ok := FindHomomorphism(path, loop, true); ok {
+		t.Error("injective homomorphism from 3-value path to 1-value loop should not exist")
+	}
+}
+
+func TestFindHomomorphismNone(t *testing.T) {
+	// An edge cannot map into an empty instance.
+	if _, ok := FindHomomorphism(inst("E(a,b)"), NewInstance(), false); ok {
+		t.Error("found homomorphism into empty instance")
+	}
+	// A triangle does not map into a single directed edge.
+	tri := inst("E(a,b)", "E(b,c)", "E(c,a)")
+	edge := inst("E(x,y)")
+	if _, ok := FindHomomorphism(tri, edge, false); ok {
+		t.Error("triangle should not map homomorphically to a single edge")
+	}
+}
+
+func TestFindHomomorphismEmptySource(t *testing.T) {
+	h, ok := FindHomomorphism(NewInstance(), inst("E(a,b)"), true)
+	if !ok || len(h) != 0 {
+		t.Error("empty instance should map anywhere via the empty mapping")
+	}
+}
+
+func TestIsHomomorphismRequiresTotality(t *testing.T) {
+	i := inst("E(a,b)")
+	if IsHomomorphism(Hom{"a": "x"}, i, inst("E(x,b)")) {
+		t.Error("partial mapping accepted as homomorphism")
+	}
+}
+
+func TestInjectiveHomIsEmbedding(t *testing.T) {
+	small := inst("E(a,b)")
+	big := inst("E(x,y)", "E(y,z)")
+	h, ok := FindHomomorphism(small, big, true)
+	if !ok {
+		t.Fatal("no injective homomorphism from edge into path")
+	}
+	if !h.IsInjective() {
+		t.Fatalf("mapping %v claimed injective but is not", h)
+	}
+}
+
+func TestHomIsInjective(t *testing.T) {
+	if (Hom{"a": "x", "b": "x"}).IsInjective() {
+		t.Error("collapsing mapping reported injective")
+	}
+	if !(Hom{"a": "x", "b": "y"}).IsInjective() {
+		t.Error("injective mapping reported non-injective")
+	}
+}
+
+func TestIdentityHom(t *testing.T) {
+	i := inst("E(a,b)", "E(b,c)")
+	h := IdentityHom(i.ADom())
+	if !IsHomomorphism(h, i, i) {
+		t.Error("identity is not a homomorphism from I to I")
+	}
+	if !h.IsInjective() {
+		t.Error("identity not injective")
+	}
+}
+
+// Every instance maps homomorphically into any superset (via identity),
+// and FindHomomorphism must find some witness.
+func TestHomomorphismIntoSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		i := randomGraph(rng, 4, 4)
+		j := i.Union(randomGraph(rng, 4, 2))
+		h, ok := FindHomomorphism(i, j, true)
+		if !ok {
+			t.Fatalf("no injective hom from %v into superset %v", i, j)
+		}
+		if !IsHomomorphism(h, i, j) {
+			t.Fatalf("witness %v not a homomorphism", h)
+		}
+	}
+}
+
+// Homomorphisms compose.
+func TestHomomorphismComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		i := randomGraph(rng, 3, 3)
+		j := randomGraph(rng, 3, 4).Union(i)
+		k := j.Union(randomGraph(rng, 3, 2))
+		h1, ok1 := FindHomomorphism(i, j, false)
+		h2, ok2 := FindHomomorphism(j, k, false)
+		if !ok1 || !ok2 {
+			continue
+		}
+		comp := make(Hom, len(h1))
+		for v, w := range h1 {
+			if x, ok := h2[w]; ok {
+				comp[v] = x
+			} else {
+				comp[v] = w
+			}
+		}
+		if !IsHomomorphism(comp, i, k) {
+			t.Fatalf("composition of homomorphisms not a homomorphism: %v ; %v", h1, h2)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package fact
+
+import (
+	"sort"
+	"strings"
+)
+
+// Instance is a database instance: a finite set of facts. The zero
+// value is not usable; create instances with NewInstance. Instances
+// have set semantics (adding a fact twice is a no-op).
+type Instance struct {
+	facts map[string]Fact
+}
+
+// NewInstance creates an instance containing the given facts.
+func NewInstance(facts ...Fact) *Instance {
+	i := &Instance{facts: make(map[string]Fact, len(facts))}
+	for _, f := range facts {
+		i.Add(f)
+	}
+	return i
+}
+
+// Add inserts f, reporting whether it was newly added.
+func (i *Instance) Add(f Fact) bool {
+	k := f.Key()
+	if _, ok := i.facts[k]; ok {
+		return false
+	}
+	i.facts[k] = f
+	return true
+}
+
+// AddAll inserts every fact of j, reporting how many were newly added.
+func (i *Instance) AddAll(j *Instance) int {
+	n := 0
+	for k, f := range j.facts {
+		if _, ok := i.facts[k]; !ok {
+			i.facts[k] = f
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes f, reporting whether it was present.
+func (i *Instance) Remove(f Fact) bool {
+	k := f.Key()
+	if _, ok := i.facts[k]; !ok {
+		return false
+	}
+	delete(i.facts, k)
+	return true
+}
+
+// RemoveAll deletes every fact of j from i.
+func (i *Instance) RemoveAll(j *Instance) {
+	for k := range j.facts {
+		delete(i.facts, k)
+	}
+}
+
+// Has reports whether f is in the instance.
+func (i *Instance) Has(f Fact) bool {
+	_, ok := i.facts[f.Key()]
+	return ok
+}
+
+// Len returns |I|, the number of facts.
+func (i *Instance) Len() int { return len(i.facts) }
+
+// Empty reports whether the instance contains no facts.
+func (i *Instance) Empty() bool { return len(i.facts) == 0 }
+
+// Facts returns all facts in deterministic (sorted) order.
+func (i *Instance) Facts() []Fact {
+	fs := make([]Fact, 0, len(i.facts))
+	for _, f := range i.facts {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Compare(fs[b]) < 0 })
+	return fs
+}
+
+// Each calls fn for every fact in unspecified order; it stops early if
+// fn returns false. Use Facts for deterministic order.
+func (i *Instance) Each(fn func(Fact) bool) {
+	for _, f := range i.facts {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// Rel returns the facts of relation rel in sorted order.
+func (i *Instance) Rel(rel string) []Fact {
+	var fs []Fact
+	for _, f := range i.facts {
+		if f.Rel() == rel {
+			fs = append(fs, f)
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Compare(fs[b]) < 0 })
+	return fs
+}
+
+// ADom returns adom(I), the set of all values occurring in facts of I.
+func (i *Instance) ADom() ValueSet {
+	s := make(ValueSet)
+	for _, f := range i.facts {
+		for n := 0; n < f.Arity(); n++ {
+			s.Add(f.Arg(n))
+		}
+	}
+	return s
+}
+
+// Schema returns the minimal schema the instance is over.
+func (i *Instance) Schema() Schema {
+	s := make(Schema)
+	for _, f := range i.facts {
+		s[f.Rel()] = f.Arity()
+	}
+	return s
+}
+
+// Restrict returns I|σ, the maximal subset of I over the schema σ.
+func (i *Instance) Restrict(s Schema) *Instance {
+	out := NewInstance()
+	for k, f := range i.facts {
+		if s.Covers(f) {
+			out.facts[k] = f
+		}
+	}
+	return out
+}
+
+// RestrictRel returns the subset of I whose facts use the given relation name.
+func (i *Instance) RestrictRel(rel string) *Instance {
+	out := NewInstance()
+	for k, f := range i.facts {
+		if f.Rel() == rel {
+			out.facts[k] = f
+		}
+	}
+	return out
+}
+
+// Union returns a fresh instance I ∪ J.
+func (i *Instance) Union(j *Instance) *Instance {
+	out := NewInstance()
+	for k, f := range i.facts {
+		out.facts[k] = f
+	}
+	for k, f := range j.facts {
+		out.facts[k] = f
+	}
+	return out
+}
+
+// Minus returns a fresh instance I \ J.
+func (i *Instance) Minus(j *Instance) *Instance {
+	out := NewInstance()
+	for k, f := range i.facts {
+		if _, ok := j.facts[k]; !ok {
+			out.facts[k] = f
+		}
+	}
+	return out
+}
+
+// Intersect returns a fresh instance I ∩ J.
+func (i *Instance) Intersect(j *Instance) *Instance {
+	small, large := i, j
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	out := NewInstance()
+	for k, f := range small.facts {
+		if _, ok := large.facts[k]; ok {
+			out.facts[k] = f
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether I ⊆ J.
+func (i *Instance) SubsetOf(j *Instance) bool {
+	if i.Len() > j.Len() {
+		return false
+	}
+	for k := range i.facts {
+		if _, ok := j.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether both instances contain exactly the same facts.
+func (i *Instance) Equal(j *Instance) bool {
+	return i.Len() == j.Len() && i.SubsetOf(j)
+}
+
+// Clone returns an independent copy of the instance.
+func (i *Instance) Clone() *Instance {
+	out := &Instance{facts: make(map[string]Fact, len(i.facts))}
+	for k, f := range i.facts {
+		out.facts[k] = f
+	}
+	return out
+}
+
+// Map returns the instance {f.Map(h) | f ∈ I}: the image of I under
+// the value mapping h (a homomorphism application or a permutation).
+func (i *Instance) Map(h map[Value]Value) *Instance {
+	out := NewInstance()
+	for _, f := range i.facts {
+		out.Add(f.Map(h))
+	}
+	return out
+}
+
+// String renders the instance as a sorted, brace-delimited fact list,
+// e.g. "{E(a,b), E(b,c)}".
+func (i *Instance) String() string {
+	fs := i.Facts()
+	parts := make([]string, len(fs))
+	for n, f := range fs {
+		parts[n] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

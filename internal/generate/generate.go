@@ -1,0 +1,213 @@
+// Package generate produces database instances for tests, experiments
+// and benchmarks: deterministic seeded random instances over arbitrary
+// schemas, the structured graph families the paper's separating
+// examples are built from (paths, cycles, cliques, stars), and
+// exhaustive enumerations of all small graphs for exhaustive checks of
+// universally quantified claims.
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fact"
+)
+
+// Values returns n distinct values named prefix0..prefix(n-1).
+func Values(prefix string, n int) []fact.Value {
+	out := make([]fact.Value, n)
+	for i := range out {
+		out[i] = fact.Value(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// Random builds a random instance over the schema using the given
+// value pool: for each relation, count facts with uniformly chosen
+// arguments (duplicates fold by set semantics).
+func Random(rng *rand.Rand, schema fact.Schema, pool []fact.Value, count int) *fact.Instance {
+	out := fact.NewInstance()
+	names := schema.Names()
+	if len(names) == 0 || len(pool) == 0 {
+		return out
+	}
+	for k := 0; k < count; k++ {
+		rel := names[rng.Intn(len(names))]
+		ar, _ := schema.Arity(rel)
+		args := make([]fact.Value, ar)
+		for i := range args {
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		out.Add(fact.New(rel, args...))
+	}
+	return out
+}
+
+// RandomGraph builds a random directed graph over n values with m
+// random edges (an Erdős–Rényi-style G(n, m) sample with possible
+// self-loops), using the single binary relation E.
+func RandomGraph(rng *rand.Rand, prefix string, n, m int) *fact.Instance {
+	return Random(rng, fact.GraphSchema(), Values(prefix, n), m)
+}
+
+// Path returns the directed path v0 -> v1 -> ... -> v(n) with n edges.
+func Path(prefix string, n int) *fact.Instance {
+	out := fact.NewInstance()
+	vs := Values(prefix, n+1)
+	for i := 0; i < n; i++ {
+		out.Add(fact.New("E", vs[i], vs[i+1]))
+	}
+	return out
+}
+
+// Cycle returns the directed cycle v0 -> v1 -> ... -> v(n-1) -> v0.
+func Cycle(prefix string, n int) *fact.Instance {
+	out := fact.NewInstance()
+	vs := Values(prefix, n)
+	for i := 0; i < n; i++ {
+		out.Add(fact.New("E", vs[i], vs[(i+1)%n]))
+	}
+	return out
+}
+
+// Clique returns the complete loop-free digraph on n values: both
+// directions of every pair, matching the paper's clique queries which
+// ignore edge direction.
+func Clique(prefix string, n int) *fact.Instance {
+	out := fact.NewInstance()
+	vs := Values(prefix, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out.Add(fact.New("E", vs[i], vs[j]))
+			}
+		}
+	}
+	return out
+}
+
+// Star returns a star with the given center value and k spokes
+// center -> prefix0..prefix(k-1).
+func Star(center fact.Value, prefix string, k int) *fact.Instance {
+	out := fact.NewInstance()
+	for _, v := range Values(prefix, k) {
+		out.Add(fact.New("E", center, v))
+	}
+	return out
+}
+
+// Triangle returns the directed triangle a -> b -> c -> a over the
+// given three values.
+func Triangle(a, b, c fact.Value) *fact.Instance {
+	return fact.NewInstance(
+		fact.New("E", a, b),
+		fact.New("E", b, c),
+		fact.New("E", c, a),
+	)
+}
+
+// DisjointUnion unions the instances after checking they are pairwise
+// domain-disjoint; it panics otherwise (programming error in a test).
+func DisjointUnion(parts ...*fact.Instance) *fact.Instance {
+	out := fact.NewInstance()
+	for _, p := range parts {
+		if !fact.DomainDisjoint(p, out) {
+			panic(fmt.Sprintf("generate: DisjointUnion parts share values: %v vs %v", p, out))
+		}
+		out.AddAll(p)
+	}
+	return out
+}
+
+// Bipartite returns the complete directed bipartite graph from n left
+// values to m right values.
+func Bipartite(leftPrefix string, n int, rightPrefix string, m int) *fact.Instance {
+	out := fact.NewInstance()
+	for _, l := range Values(leftPrefix, n) {
+		for _, r := range Values(rightPrefix, m) {
+			out.Add(fact.New("E", l, r))
+		}
+	}
+	return out
+}
+
+// Tournament returns a random tournament on n values: exactly one
+// directed edge between every pair, orientation chosen by the rng.
+func Tournament(rng *rand.Rand, prefix string, n int) *fact.Instance {
+	out := fact.NewInstance()
+	vs := Values(prefix, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				out.Add(fact.New("E", vs[i], vs[j]))
+			} else {
+				out.Add(fact.New("E", vs[j], vs[i]))
+			}
+		}
+	}
+	return out
+}
+
+// Grid returns the directed w×h grid: edges rightward and downward.
+func Grid(prefix string, w, h int) *fact.Instance {
+	out := fact.NewInstance()
+	at := func(x, y int) fact.Value {
+		return fact.Value(fmt.Sprintf("%s%d_%d", prefix, x, y))
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				out.Add(fact.New("E", at(x, y), at(x+1, y)))
+			}
+			if y+1 < h {
+				out.Add(fact.New("E", at(x, y), at(x, y+1)))
+			}
+		}
+	}
+	return out
+}
+
+// AllGraphs enumerates every directed graph (edge set over E) on the
+// given values, invoking visit for each; 2^(n²) instances, so keep n
+// tiny (n=2 → 16, n=3 → 512). If visit returns false the enumeration
+// stops early.
+func AllGraphs(values []fact.Value, visit func(*fact.Instance) bool) {
+	n := len(values)
+	type edge struct{ a, b fact.Value }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			edges = append(edges, edge{values[i], values[j]})
+		}
+	}
+	total := 1 << len(edges)
+	for mask := 0; mask < total; mask++ {
+		inst := fact.NewInstance()
+		for b, e := range edges {
+			if mask&(1<<b) != 0 {
+				inst.Add(fact.New("E", e.a, e.b))
+			}
+		}
+		if !visit(inst) {
+			return
+		}
+	}
+}
+
+// Subsets enumerates every subinstance of I, invoking visit for each;
+// 2^|I| instances. If visit returns false the enumeration stops early.
+func Subsets(i *fact.Instance, visit func(*fact.Instance) bool) {
+	facts := i.Facts()
+	total := 1 << len(facts)
+	for mask := 0; mask < total; mask++ {
+		inst := fact.NewInstance()
+		for b, f := range facts {
+			if mask&(1<<b) != 0 {
+				inst.Add(f)
+			}
+		}
+		if !visit(inst) {
+			return
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package ilog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+// This file evaluates ILOG¬ programs under the stratified semantics:
+// strata are evaluated in order, each as a fixpoint where valuations
+// of the Skolemized rules are taken over the Herbrand universe — in
+// practice, over the facts accumulated so far, whose values may
+// already be invented terms. A fresh invention for the same valuation
+// always yields the same Skolem value, as Skolemization requires.
+
+// Options bounds the fixpoint. Because value invention can diverge
+// (the output is then undefined), both a round bound and a size bound
+// are enforced; exceeding either yields ErrDiverged.
+type Options struct {
+	// MaxRounds caps the number of immediate-consequence rounds per
+	// stratum. Zero means DefaultMaxRounds.
+	MaxRounds int
+	// MaxFacts caps the size of the accumulated instance. Zero means
+	// DefaultMaxFacts.
+	MaxFacts int
+}
+
+// Default evaluation bounds.
+const (
+	DefaultMaxRounds = 10_000
+	DefaultMaxFacts  = 1_000_000
+)
+
+func (o Options) rounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return DefaultMaxRounds
+}
+
+func (o Options) facts() int {
+	if o.MaxFacts > 0 {
+		return o.MaxFacts
+	}
+	return DefaultMaxFacts
+}
+
+// Stratify computes a minimal stratification of the head relations,
+// exactly as for Datalog¬.
+func (p *Program) Stratify() (datalog.Stratification, error) {
+	idb := p.IDB()
+	rho := make(datalog.Stratification, len(idb))
+	for rel := range idb {
+		rho[rel] = 1
+	}
+	limit := len(idb)
+	for {
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Rel
+			for _, a := range r.Pos {
+				if idb.Has(a.Rel) && rho[a.Rel] > rho[h] {
+					rho[h] = rho[a.Rel]
+					changed = true
+				}
+			}
+			for _, a := range r.Neg {
+				if idb.Has(a.Rel) && rho[a.Rel]+1 > rho[h] {
+					rho[h] = rho[a.Rel] + 1
+					changed = true
+				}
+			}
+			if rho[h] > limit {
+				return nil, fmt.Errorf("ilog: program is not syntactically stratifiable (cycle through negation involving %s)", h)
+			}
+		}
+		if !changed {
+			return rho, nil
+		}
+	}
+}
+
+// IsStratifiable reports whether the program admits a syntactic
+// stratification.
+func (p *Program) IsStratifiable() bool {
+	_, err := p.Stratify()
+	return err == nil
+}
+
+// strata partitions the rules by head stratum number.
+func (p *Program) strata(rho datalog.Stratification) [][]Rule {
+	byStratum := make(map[int][]Rule)
+	for _, r := range p.Rules {
+		n := rho[r.Head.Rel]
+		byStratum[n] = append(byStratum[n], r)
+	}
+	nums := make([]int, 0, len(byStratum))
+	for n := range byStratum {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	out := make([][]Rule, 0, len(nums))
+	for _, n := range nums {
+		out = append(out, byStratum[n])
+	}
+	return out
+}
+
+// deriveHead grounds the head of the rule under the valuation,
+// inventing a Skolem value for invention rules.
+func deriveHead(r Rule, b datalog.Bindings) (fact.Fact, error) {
+	args := make(fact.Tuple, 0, r.headArity())
+	plain := make([]fact.Value, 0, len(r.Head.Args))
+	for _, t := range r.Head.Args {
+		var v fact.Value
+		if t.IsVar() {
+			bound, ok := b[t.Var]
+			if !ok {
+				return fact.Fact{}, fmt.Errorf("ilog: unbound head variable %s", t.Var)
+			}
+			v = bound
+		} else {
+			v = t.Const
+		}
+		plain = append(plain, v)
+	}
+	if r.Invents {
+		args = append(args, SkolemValue(r.Head.Rel, plain))
+	}
+	args = append(args, plain...)
+	return fact.FromTuple(r.Head.Rel, args), nil
+}
+
+// Eval computes the output of the program on the input under the
+// stratified semantics, or ErrDiverged when a bound trips (output
+// undefined). The result contains input and all derived facts,
+// including facts carrying invented values.
+func (p *Program) Eval(input *fact.Instance, opts Options) (*fact.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idb := p.IDB()
+	var badFact *fact.Fact
+	input.Each(func(f fact.Fact) bool {
+		if idb.Has(f.Rel()) {
+			g := f
+			badFact = &g
+			return false
+		}
+		return true
+	})
+	if badFact != nil {
+		return nil, fmt.Errorf("ilog: input fact %v is over idb relation %s", *badFact, badFact.Rel())
+	}
+	rho, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	current := input.Clone()
+	for _, stratum := range p.strata(rho) {
+		current, err = fixpoint(stratum, current, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return current, nil
+}
+
+func fixpoint(rules []Rule, input *fact.Instance, opts Options) (*fact.Instance, error) {
+	full := input.Clone()
+	for round := 0; ; round++ {
+		if round >= opts.rounds() {
+			return nil, ErrDiverged
+		}
+		var derived []fact.Fact
+		for _, r := range rules {
+			d := r.asDatalogRule()
+			// For invention rules with no head variables the dummy
+			// datalog head would be invalid; enumerate with a safe head.
+			if r.Invents {
+				d.Head = r.Pos[0]
+			}
+			rr := r
+			err := datalog.Valuations(d, full, func(b datalog.Bindings) error {
+				h, err := deriveHead(rr, b)
+				if err != nil {
+					return err
+				}
+				if !full.Has(h) {
+					derived = append(derived, h)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		changed := false
+		for _, h := range derived {
+			if full.Add(h) {
+				changed = true
+			}
+		}
+		if full.Len() > opts.facts() {
+			return nil, ErrDiverged
+		}
+		if !changed {
+			return full, nil
+		}
+	}
+}
+
+// EvalQuery evaluates the program and restricts the result to the
+// given output relations, additionally enforcing the ILOG¬ safety
+// condition: the output must contain no invented values. Weakly safe
+// programs satisfy this by construction (Section 5.2).
+func (p *Program) EvalQuery(input *fact.Instance, outputRels []string, opts Options) (*fact.Instance, error) {
+	full, err := p.Eval(input, opts)
+	if err != nil {
+		return nil, err
+	}
+	idb := p.IDB()
+	out := make(fact.Schema)
+	for _, rel := range outputRels {
+		ar, ok := idb.Arity(rel)
+		if !ok {
+			return nil, fmt.Errorf("ilog: output relation %s is not an idb relation", rel)
+		}
+		out[rel] = ar
+	}
+	result := full.Restrict(out)
+	var leaked *fact.Fact
+	result.Each(func(f fact.Fact) bool {
+		for i := 0; i < f.Arity(); i++ {
+			if IsInvented(f.Arg(i)) {
+				g := f
+				leaked = &g
+				return false
+			}
+		}
+		return true
+	})
+	if leaked != nil {
+		return nil, fmt.Errorf("ilog: unsafe program: invented value leaked into output fact %v", *leaked)
+	}
+	return result, nil
+}

@@ -1,0 +1,229 @@
+// Package ilog implements wILOG¬ — weakly safe ILOG with stratified
+// negation — following Section 5.2 of the paper (and Cabibbo,
+// "The expressive power of stratified logic programs with value
+// invention", Inf. & Comp. 1998). ILOG¬ extends Datalog¬ with
+// invention relations whose first position is filled by the invention
+// symbol '*' in rule heads; Skolemization replaces '*' with a Skolem
+// functor term fR(u1,...,uk), and the semantics evaluates the
+// Skolemized rules over the Herbrand universe of ground terms.
+//
+// Invented values are represented as fact.Values with a canonical
+// textual encoding "$fR(v1,v2)" (recursively for nested terms); plain
+// domain values never start with '$', so the encoding is injective.
+//
+// When the fixpoint does not converge (the invention process feeds
+// itself), the output of the program is undefined; the evaluator
+// detects this with a configurable bound and returns ErrDiverged.
+package ilog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+// ErrDiverged is returned when the fixpoint exceeds its bound, which
+// signals that the program output is (presumed) undefined — the
+// invention process generates unboundedly many new values.
+var ErrDiverged = errors.New("ilog: fixpoint did not converge (output undefined)")
+
+// InventedPrefix marks invented values in the fact.Value encoding.
+const InventedPrefix = "$"
+
+// IsInvented reports whether the value is an invented (Skolem) value.
+func IsInvented(v fact.Value) bool {
+	return strings.HasPrefix(string(v), InventedPrefix)
+}
+
+// SkolemValue builds the ground Skolem term fR(args...) as an encoded
+// value. The functor is named after the invention relation.
+func SkolemValue(rel string, args []fact.Value) fact.Value {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = string(a)
+	}
+	return fact.Value(InventedPrefix + "f" + rel + "(" + strings.Join(parts, "\x01") + ")")
+}
+
+// Rule is an ILOG¬ rule: a Datalog¬ rule whose head may be an
+// invention atom R(*, u1, ..., uk). When Invents is set, the head atom
+// lists only the non-invention arguments u1..uk; the stored relation R
+// then has arity len(Args)+1 with the invention position first.
+type Rule struct {
+	Head    datalog.Atom
+	Invents bool
+	Pos     []datalog.Atom
+	Neg     []datalog.Atom
+	Ineq    []datalog.Inequality
+}
+
+// headArity returns the arity of the head relation including the
+// invention position when present.
+func (r Rule) headArity() int {
+	if r.Invents {
+		return len(r.Head.Args) + 1
+	}
+	return len(r.Head.Args)
+}
+
+// body returns the rule as a headless Datalog¬ rule for valuation
+// enumeration; the dummy head repeats the first positive atom so the
+// rule is trivially safe for the head.
+func (r Rule) asDatalogRule() datalog.Rule {
+	return datalog.Rule{
+		Head: r.Head,
+		Pos:  r.Pos,
+		Neg:  r.Neg,
+		Ineq: r.Ineq,
+	}
+}
+
+// Validate checks rule well-formedness: safety and nonempty body, as
+// for Datalog¬ (invention heads are safe when their listed arguments
+// are; the invention position itself is produced, not consumed).
+func (r Rule) Validate() error {
+	if r.Invents && len(r.Head.Args) == 0 {
+		// R(*) :- Body — a unary invention relation. The head carries
+		// no variables, so validate the body with a dummy head.
+		if len(r.Pos) == 0 {
+			return fmt.Errorf("ilog: rule %v has empty positive body", r)
+		}
+		d := datalog.Rule{Head: r.Pos[0], Pos: r.Pos, Neg: r.Neg, Ineq: r.Ineq}
+		return d.Validate()
+	}
+	return r.asDatalogRule().Validate()
+}
+
+// String renders the rule; invention heads show the '*' symbol.
+func (r Rule) String() string {
+	if !r.Invents {
+		return r.asDatalogRule().String()
+	}
+	if len(r.Head.Args) == 0 {
+		d := datalog.Rule{Head: datalog.AtomV(r.Head.Rel, "*"), Pos: r.Pos, Neg: r.Neg, Ineq: r.Ineq}
+		return d.String()
+	}
+	s := r.asDatalogRule().String()
+	open := strings.Index(s, "(")
+	return s[:open+1] + "*, " + s[open+1:]
+}
+
+// Program is an ILOG¬ program: a set of rules, some of whose heads may
+// invent values.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...Rule) *Program { return &Program{Rules: rules} }
+
+// FromDatalog lifts a plain Datalog¬ program into an ILOG¬ program
+// with no invention.
+func FromDatalog(p *datalog.Program) *Program {
+	out := NewProgram()
+	for _, r := range p.Rules {
+		out.Rules = append(out.Rules, Rule{Head: r.Head, Pos: r.Pos, Neg: r.Neg, Ineq: r.Ineq})
+	}
+	return out
+}
+
+// InventionRelations returns the relations that appear as invention
+// heads.
+func (p *Program) InventionRelations() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range p.Rules {
+		if r.Invents {
+			out[r.Head.Rel] = true
+		}
+	}
+	return out
+}
+
+// Schema returns sch(P) with invention relations at their full arity
+// (invention position included).
+func (p *Program) Schema() (fact.Schema, error) {
+	s := make(fact.Schema)
+	for _, r := range p.Rules {
+		if err := s.Declare(r.Head.Rel, r.headArity()); err != nil {
+			return nil, err
+		}
+		for _, a := range append(append([]datalog.Atom{}, r.Pos...), r.Neg...) {
+			if err := s.Declare(a.Rel, len(a.Args)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// IDB returns the head relations with their full arities.
+func (p *Program) IDB() fact.Schema {
+	s := make(fact.Schema)
+	for _, r := range p.Rules {
+		s[r.Head.Rel] = r.headArity()
+	}
+	return s
+}
+
+// EDB returns sch(P) minus the idb relations.
+func (p *Program) EDB() (fact.Schema, error) {
+	s, err := p.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return s.Minus(p.IDB()), nil
+}
+
+// Validate checks every rule, schema consistency, and that invention
+// relations are used consistently (every rule deriving an invention
+// relation must invent; invention relations must not also be derived
+// without invention).
+func (p *Program) Validate() error {
+	invents := p.InventionRelations()
+	for _, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if invents[r.Head.Rel] && !r.Invents {
+			return fmt.Errorf("ilog: relation %s derived both with and without invention", r.Head.Rel)
+		}
+	}
+	_, err := p.Schema()
+	return err
+}
+
+// IsPositive reports whether no rule has negative body atoms.
+func (p *Program) IsPositive() bool {
+	for _, r := range p.Rules {
+		if len(r.Neg) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSemiPositive reports whether every negated atom is over the edb
+// (the class SP-wILOG of Section 5.2).
+func (p *Program) IsSemiPositive() bool {
+	idb := p.IDB()
+	for _, r := range p.Rules {
+		for _, a := range r.Neg {
+			if idb.Has(a.Rel) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = r.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,102 @@
+package ilog
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+func TestParseProgramInvention(t *testing.T) {
+	p, err := ParseProgram(`
+		Id(*, x, y) :- E(x,y).
+		O(x,y)      :- Id(i, x, y).
+	`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if !p.Rules[0].Invents || p.Rules[1].Invents {
+		t.Errorf("invention flags wrong: %v %v", p.Rules[0].Invents, p.Rules[1].Invents)
+	}
+	// Semantics must match the programmatically built edge-id program.
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	got, err := p.EvalQuery(in, []string{"O"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := edgeIDProgram().EvalQuery(in, []string{"O"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("parsed program output %v != built program output %v", got, want)
+	}
+}
+
+func TestParseProgramZeroArgInvention(t *testing.T) {
+	p, err := ParseProgram(`Id(*) :- V(x).`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	out, err := p.Eval(fact.MustParseInstance(`V(a) V(b)`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := out.Rel("Id"); len(ids) != 1 {
+		t.Errorf("zero-arg invention ids = %v", ids)
+	}
+}
+
+func TestParseProgramPlainDatalog(t *testing.T) {
+	p, err := ParseProgram(`T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Rules {
+		if r.Invents {
+			t.Error("plain rule marked inventing")
+		}
+	}
+	out, err := p.EvalQuery(fact.MustParseInstance(`E(a,b) E(b,c)`), []string{"T"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("TC size = %d", out.Len())
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	bad := []string{
+		`Id(x, *) :- E(x,y).`,                // star not in first position
+		`O(x) :- Id(*, x).`,                  // star in body
+		`Id(*, x) :- E(x,y). Id(x) :- V(x).`, // mixed invention arity
+		`Id(* x) :- E(x,y).`,                 // missing comma after star
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+}
+
+func TestPlainParserRejectsStar(t *testing.T) {
+	// The plain Datalog¬ entry point must reject the invention symbol.
+	if _, err := datalog.ParseProgram(`Id(*, x) :- E(x,y).`); err == nil {
+		t.Error("datalog.ParseProgram should reject the invention symbol")
+	}
+}
+
+func TestParsedStringRoundTrip(t *testing.T) {
+	p := MustParseProgram(`Id(*, x, y) :- E(x,y).`)
+	q, err := ParseProgram(p.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if p.String() != q.String() {
+		t.Errorf("round trip mismatch:\n%s\n%s", p, q)
+	}
+}

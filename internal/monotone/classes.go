@@ -1,0 +1,96 @@
+package monotone
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+)
+
+// Kind selects which restriction the added instance J must satisfy
+// relative to I in the monotonicity condition Q(I) ⊆ Q(I ∪ J)
+// (Definition 1).
+type Kind int
+
+const (
+	// Any places no restriction on J: plain monotonicity (class M).
+	Any Kind = iota
+	// Distinct requires J to be domain distinct from I (Mdistinct).
+	Distinct
+	// Disjoint requires J to be domain disjoint from I (Mdisjoint).
+	Disjoint
+)
+
+// Class identifies one of the paper's monotonicity classes: a Kind
+// plus an optional bound i on |J| (0 = unbounded). For example,
+// Class{Distinct, 2} is M²distinct.
+type Class struct {
+	Kind  Kind
+	Bound int
+}
+
+// The unbounded classes of Definition 1.
+var (
+	M         = Class{Any, 0}
+	MDistinct = Class{Distinct, 0}
+	MDisjoint = Class{Disjoint, 0}
+)
+
+// Mi returns the bounded class Mⁱ.
+func Mi(i int) Class { return Class{Any, i} }
+
+// MiDistinct returns the bounded class Mⁱdistinct.
+func MiDistinct(i int) Class { return Class{Distinct, i} }
+
+// MiDisjoint returns the bounded class Mⁱdisjoint.
+func MiDisjoint(i int) Class { return Class{Disjoint, i} }
+
+// Allows reports whether the pair (I, J) is within the scope of the
+// class's monotonicity condition: J satisfies the kind restriction
+// w.r.t. I and the size bound.
+func (c Class) Allows(j, i *fact.Instance) bool {
+	if c.Bound > 0 && j.Len() > c.Bound {
+		return false
+	}
+	switch c.Kind {
+	case Any:
+		return true
+	case Distinct:
+		return fact.DomainDistinct(j, i)
+	case Disjoint:
+		return fact.DomainDisjoint(j, i)
+	default:
+		panic(fmt.Sprintf("monotone: unknown kind %d", c.Kind))
+	}
+}
+
+// Implies reports whether membership in class c implies membership in
+// class d, purely by the inclusion structure of the conditions: a
+// query monotone under a *larger* family of pairs is monotone under
+// any subfamily. c implies d iff every pair allowed by d is allowed
+// by c.
+func (c Class) Implies(d Class) bool {
+	// Kind scope: Any ⊇ Distinct ⊇ Disjoint.
+	kindWider := c.Kind <= d.Kind
+	// Bound scope: unbounded (0) ⊇ any bound; larger bound ⊇ smaller.
+	boundWider := c.Bound == 0 || (d.Bound != 0 && c.Bound >= d.Bound)
+	return kindWider && boundWider
+}
+
+// String names the class in the paper's notation.
+func (c Class) String() string {
+	base := "M"
+	sup := ""
+	if c.Bound > 0 {
+		sup = fmt.Sprintf("^%d", c.Bound)
+	}
+	switch c.Kind {
+	case Any:
+		return base + sup
+	case Distinct:
+		return base + sup + "_distinct"
+	case Disjoint:
+		return base + sup + "_disjoint"
+	default:
+		return fmt.Sprintf("M?(kind=%d)", c.Kind)
+	}
+}

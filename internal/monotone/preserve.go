@@ -1,0 +1,141 @@
+package monotone
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fact"
+)
+
+// This file implements the preservation classes of Section 3.2
+// (Definition 2): preservation under homomorphisms (H), injective
+// homomorphisms (Hinj) and extensions (E), with pairwise checkers and
+// randomized violation search. Lemma 3.2 relates them to the
+// monotonicity classes: H ⊊ Hinj = M ⊊ E = Mdistinct.
+
+// HomWitness records a violation of homomorphism preservation: the
+// fact From is in Q(I) but its image under H is missing from Q(J).
+type HomWitness struct {
+	I, J *fact.Instance
+	H    fact.Hom
+	From fact.Fact
+}
+
+// String renders the witness.
+func (w *HomWitness) String() string {
+	return fmt.Sprintf("I=%v J=%v h=%v from=%v", w.I, w.J, w.H, w.From)
+}
+
+// CheckHomPair tests preservation for one triple (I, J, h): every
+// R(d̄) ∈ Q(I) must have R(h(d̄)) ∈ Q(J). The mapping must be a
+// homomorphism from I to J (callers typically construct J as the
+// image of I, plus noise).
+func CheckHomPair(q Query, i, j *fact.Instance, h fact.Hom) (*HomWitness, error) {
+	if !fact.IsHomomorphism(h, i, j) {
+		return nil, fmt.Errorf("monotone: mapping %v is not a homomorphism from %v to %v", h, i, j)
+	}
+	qi, err := q.Eval(i)
+	if err != nil {
+		return nil, err
+	}
+	qj, err := q.Eval(j)
+	if err != nil {
+		return nil, err
+	}
+	var w *HomWitness
+	qi.Each(func(f fact.Fact) bool {
+		if !qj.Has(f.Map(h)) {
+			w = &HomWitness{I: i.Clone(), J: j.Clone(), H: h, From: f}
+			return false
+		}
+		return true
+	})
+	return w, nil
+}
+
+// CheckExtensionPair tests preservation under extensions for one pair:
+// J must be an induced subinstance of I, and every output fact of Q(J)
+// must be in Q(I).
+func CheckExtensionPair(q Query, j, i *fact.Instance) (*Witness, error) {
+	if !fact.IsInducedSubinstance(j, i) {
+		return nil, fmt.Errorf("monotone: %v is not an induced subinstance of %v", j, i)
+	}
+	qj, err := q.Eval(j)
+	if err != nil {
+		return nil, err
+	}
+	qi, err := q.Eval(i)
+	if err != nil {
+		return nil, err
+	}
+	var w *Witness
+	qj.Each(func(f fact.Fact) bool {
+		if !qi.Has(f) {
+			w = &Witness{I: i.Clone(), J: j.Clone(), Missing: f}
+			return false
+		}
+		return true
+	})
+	return w, nil
+}
+
+// FindExtensionViolation samples instances I from gen, takes random
+// induced subinstances J, and returns the first extension-preservation
+// violation found.
+func FindExtensionViolation(q Query, gen func(*rand.Rand) *fact.Instance, seed int64, trials int) (*Witness, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < trials; n++ {
+		i := gen(rng)
+		// Random sub-adom induces J.
+		c := make(fact.ValueSet)
+		for v := range i.ADom() {
+			if rng.Intn(2) == 0 {
+				c.Add(v)
+			}
+		}
+		j := fact.InducedSubinstance(i, c)
+		w, err := CheckExtensionPair(q, j, i)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			return w, nil
+		}
+	}
+	return nil, nil
+}
+
+// FindHomViolation samples instances I from gen, applies random value
+// mappings h (injective when injective is set), evaluates on the image
+// (plus optional noise from gen), and returns the first
+// homomorphism-preservation violation found.
+func FindHomViolation(q Query, gen func(*rand.Rand) *fact.Instance, injective bool, seed int64, trials int) (*HomWitness, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < trials; n++ {
+		i := gen(rng)
+		vals := i.ADom().Sorted()
+		h := make(fact.Hom, len(vals))
+		if injective {
+			// Random permutation into a fresh namespace.
+			perm := rng.Perm(len(vals))
+			for k, v := range vals {
+				h[v] = fact.Value(fmt.Sprintf("h%d", perm[k]))
+			}
+		} else {
+			// Random collapsing map into a smaller namespace.
+			m := 1 + rng.Intn(len(vals)+1)
+			for _, v := range vals {
+				h[v] = fact.Value(fmt.Sprintf("h%d", rng.Intn(m)))
+			}
+		}
+		j := i.Map(h)
+		w, err := CheckHomPair(q, i, j, h)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			return w, nil
+		}
+	}
+	return nil, nil
+}

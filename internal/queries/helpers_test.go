@@ -1,0 +1,12 @@
+package queries
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/monotone"
+)
+
+// newDatalogQuery wraps a program with output relation O as a
+// monotone.Query.
+func newDatalogQuery(p *datalog.Program) (monotone.Query, error) {
+	return datalog.NewQuery(p, "O")
+}

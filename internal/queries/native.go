@@ -1,0 +1,310 @@
+// Package queries implements the concrete queries the paper uses as
+// separating examples (Theorem 3.1, Example 5.1) and as headline
+// results (win-move): transitive closure and its complement QTC, the
+// clique queries Q^k_clique, the star queries Q^k_star, the duplicate
+// queries Q^j_duplicate, the triangle query separating Mdisjoint from
+// C, and the win-move query under the well-founded semantics.
+//
+// Every query is available as a native Go evaluator (this file); the
+// Datalog¬-expressible ones are also available as programs
+// (datalogforms.go), with tests asserting the two agree.
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fact"
+	"repro/internal/monotone"
+)
+
+// undirectedNeighbors returns, for each value, its set of undirected
+// neighbors under E (self-loops excluded). The paper's clique and star
+// queries ignore edge direction.
+func undirectedNeighbors(i *fact.Instance) map[fact.Value]fact.ValueSet {
+	adj := make(map[fact.Value]fact.ValueSet)
+	add := func(a, b fact.Value) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = make(fact.ValueSet)
+		}
+		adj[a].Add(b)
+	}
+	for _, f := range i.Rel("E") {
+		add(f.Arg(0), f.Arg(1))
+		add(f.Arg(1), f.Arg(0))
+	}
+	return adj
+}
+
+// HasKClique reports whether the undirected version of E contains a
+// clique on k distinct vertices.
+func HasKClique(i *fact.Instance, k int) bool {
+	if k <= 1 {
+		// A single vertex is a 1-clique; any nonempty graph has one.
+		return k == 1 && !i.Empty()
+	}
+	adj := undirectedNeighbors(i)
+	verts := make([]fact.Value, 0, len(adj))
+	for v, ns := range adj {
+		if len(ns) >= k-1 {
+			verts = append(verts, v)
+		}
+	}
+	sort.Slice(verts, func(a, b int) bool { return verts[a] < verts[b] })
+
+	var clique []fact.Value
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(clique) == k {
+			return true
+		}
+		for n := start; n < len(verts); n++ {
+			v := verts[n]
+			ok := true
+			for _, c := range clique {
+				if !adj[c].Has(v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			clique = append(clique, v)
+			if rec(n + 1) {
+				return true
+			}
+			clique = clique[:len(clique)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// HasKStar reports whether some vertex has at least k distinct
+// undirected neighbors (a star with k spokes).
+func HasKStar(i *fact.Instance, k int) bool {
+	if k == 0 {
+		return true
+	}
+	for _, ns := range undirectedNeighbors(i) {
+		if len(ns) >= k {
+			return true
+		}
+	}
+	return false
+}
+
+// Triangles returns all directed triangles x→y→z→x on distinct
+// vertices, as O(x,y,z) facts (each triangle appears in its three
+// rotations, matching the Datalog formulation).
+func Triangles(i *fact.Instance) []fact.Fact {
+	edges := make(map[fact.Value]fact.ValueSet)
+	for _, f := range i.Rel("E") {
+		if edges[f.Arg(0)] == nil {
+			edges[f.Arg(0)] = make(fact.ValueSet)
+		}
+		edges[f.Arg(0)].Add(f.Arg(1))
+	}
+	var out []fact.Fact
+	for x, xs := range edges {
+		for y := range xs {
+			if y == x {
+				continue
+			}
+			for z := range edges[y] {
+				if z == x || z == y {
+					continue
+				}
+				if edges[z] != nil && edges[z].Has(x) {
+					out = append(out, fact.New("O", x, y, z))
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
+	return out
+}
+
+// HasTwoDisjointTriangles reports whether the graph contains two
+// vertex-disjoint directed triangles.
+func HasTwoDisjointTriangles(i *fact.Instance) bool {
+	tris := Triangles(i)
+	for a := 0; a < len(tris); a++ {
+		va := tris[a].ADom()
+		for b := a + 1; b < len(tris); b++ {
+			if va.Disjoint(tris[b].ADom()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// edgeOutput returns the input's E facts relabeled as O facts.
+func edgeOutput(i *fact.Instance) *fact.Instance {
+	out := fact.NewInstance()
+	for _, f := range i.Rel("E") {
+		out.Add(fact.New("O", f.Arg(0), f.Arg(1)))
+	}
+	return out
+}
+
+var graphOut2 = fact.MustSchema(map[string]int{"O": 2})
+
+// TC returns the transitive-closure query over E, the canonical
+// monotone query (∈ M ⊆ Mdistinct ⊆ Mdisjoint).
+func TC() monotone.Query {
+	return monotone.NewGraphFunc("TC", graphOut2, func(i *fact.Instance) (*fact.Instance, error) {
+		reach := make(map[fact.Value]fact.ValueSet)
+		for _, f := range i.Rel("E") {
+			if reach[f.Arg(0)] == nil {
+				reach[f.Arg(0)] = make(fact.ValueSet)
+			}
+			reach[f.Arg(0)].Add(f.Arg(1))
+		}
+		// Floyd-Warshall-style saturation.
+		for {
+			changed := false
+			for x, xs := range reach {
+				for y := range xs.Clone() {
+					for z := range reach[y] {
+						if !xs.Has(z) {
+							xs.Add(z)
+							changed = true
+						}
+					}
+				}
+				_ = x
+			}
+			if !changed {
+				break
+			}
+		}
+		out := fact.NewInstance()
+		for x, xs := range reach {
+			for y := range xs {
+				out.Add(fact.New("O", x, y))
+			}
+		}
+		return out, nil
+	})
+}
+
+// ComplementTC returns QTC from Theorem 3.1(1): all pairs (a, b) of
+// active-domain values with no directed path from a to b. The paper's
+// witness for Mdisjoint \ Mdistinct.
+func ComplementTC() monotone.Query {
+	tc := TC()
+	return monotone.NewGraphFunc("QTC(¬TC)", graphOut2, func(i *fact.Instance) (*fact.Instance, error) {
+		reach, err := tc.Eval(i)
+		if err != nil {
+			return nil, err
+		}
+		out := fact.NewInstance()
+		ad := i.ADom().Sorted()
+		for _, a := range ad {
+			for _, b := range ad {
+				if !reach.Has(fact.New("O", a, b)) {
+					out.Add(fact.New("O", a, b))
+				}
+			}
+		}
+		return out, nil
+	})
+}
+
+// NoLoop returns the SP-Datalog query "active-domain values without a
+// self-loop": a simple witness for Mdistinct \ M.
+func NoLoop() monotone.Query {
+	out1 := fact.MustSchema(map[string]int{"O": 1})
+	return monotone.NewGraphFunc("NoLoop", out1, func(i *fact.Instance) (*fact.Instance, error) {
+		out := fact.NewInstance()
+		for v := range i.ADom() {
+			if !i.Has(fact.New("E", v, v)) {
+				out.Add(fact.New("O", v))
+			}
+		}
+		return out, nil
+	})
+}
+
+// KClique returns Q^k_clique from Theorem 3.1(3): the edge relation
+// when no k-clique exists (ignoring direction), the empty relation
+// otherwise. Q^{i+2}_clique ∈ Mⁱdistinct \ M^{i+1}distinct.
+func KClique(k int) monotone.Query {
+	name := fmt.Sprintf("Q^%d_clique", k)
+	return monotone.NewGraphFunc(name, graphOut2, func(i *fact.Instance) (*fact.Instance, error) {
+		if HasKClique(i, k) {
+			return fact.NewInstance(), nil
+		}
+		return edgeOutput(i), nil
+	})
+}
+
+// KStar returns Q^k_star from Theorem 3.1(4,6): the edge relation when
+// no star with k spokes exists, the empty relation otherwise.
+// Q^{i+1}_star ∈ Mⁱdisjoint \ M^{i+1}disjoint, and
+// Q^{j+1}_star ∈ Mʲdisjoint \ Mⁱdistinct.
+func KStar(k int) monotone.Query {
+	name := fmt.Sprintf("Q^%d_star", k)
+	return monotone.NewGraphFunc(name, graphOut2, func(i *fact.Instance) (*fact.Instance, error) {
+		if HasKStar(i, k) {
+			return fact.NewInstance(), nil
+		}
+		return edgeOutput(i), nil
+	})
+}
+
+// DuplicateSchema returns the input schema of Q^j_duplicate: binary
+// relations R1..Rj.
+func DuplicateSchema(j int) fact.Schema {
+	s := make(fact.Schema)
+	for n := 1; n <= j; n++ {
+		s[fmt.Sprintf("R%d", n)] = 2
+	}
+	return s
+}
+
+// Duplicate returns Q^j_duplicate from Theorem 3.1(7): the relation R1
+// when the global intersection of R1..Rj is empty, the empty set
+// otherwise. Q^j_duplicate ∈ Mⁱdistinct \ Mʲdisjoint for i < j.
+func Duplicate(j int) monotone.Query {
+	name := fmt.Sprintf("Q^%d_duplicate", j)
+	in := DuplicateSchema(j)
+	return monotone.NewFunc(name, in, graphOut2, func(i *fact.Instance) (*fact.Instance, error) {
+		// Intersection of all relations, as value pairs.
+		inter := make(map[[2]fact.Value]int)
+		for n := 1; n <= j; n++ {
+			for _, f := range i.Rel(fmt.Sprintf("R%d", n)) {
+				inter[[2]fact.Value{f.Arg(0), f.Arg(1)}]++
+			}
+		}
+		for _, count := range inter {
+			if count == j {
+				return fact.NewInstance(), nil
+			}
+		}
+		out := fact.NewInstance()
+		for _, f := range i.Rel("R1") {
+			out.Add(fact.New("O", f.Arg(0), f.Arg(1)))
+		}
+		return out, nil
+	})
+}
+
+// TrianglesUnlessTwoDisjoint returns the query separating Mdisjoint
+// from C in Theorem 3.1(1): all triangles, on condition that no two
+// vertex-disjoint triangles exist (empty otherwise).
+func TrianglesUnlessTwoDisjoint() monotone.Query {
+	out3 := fact.MustSchema(map[string]int{"O": 3})
+	return monotone.NewGraphFunc("Q_triangles", out3, func(i *fact.Instance) (*fact.Instance, error) {
+		if HasTwoDisjointTriangles(i) {
+			return fact.NewInstance(), nil
+		}
+		return fact.NewInstance(Triangles(i)...), nil
+	})
+}

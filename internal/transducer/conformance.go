@@ -1,0 +1,86 @@
+package transducer
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+)
+
+// This file implements an executable approximation of Section 4.1.4's
+// "Π computes Q": on the given network and policy, every fair run must
+// produce exactly the expected output. The checker combines three
+// levels of evidence: the deterministic round-robin run, a batch of
+// seeded random fair runs, and (optionally) exhaustive bounded
+// schedule exploration for the no-wrong-output half.
+
+// ConformanceOptions tunes CheckComputes.
+type ConformanceOptions struct {
+	// MaxRounds bounds each run; 0 picks a generous default.
+	MaxRounds int
+	// RandomRuns is the number of seeded random fair runs (default 5).
+	RandomRuns int
+	// RandomSteps is the random prefix length per random run (default 20).
+	RandomSteps int
+	// ExploreDepth, when positive, additionally explores every
+	// heartbeat/deliver-all schedule to this depth and checks that no
+	// reachable output leaves the expected set.
+	ExploreDepth int
+}
+
+func (o ConformanceOptions) withDefaults(inputLen, nodes int) ConformanceOptions {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 32 + inputLen + 4*nodes
+	}
+	if o.RandomRuns <= 0 {
+		o.RandomRuns = 5
+	}
+	if o.RandomSteps <= 0 {
+		o.RandomSteps = 20
+	}
+	return o
+}
+
+// CheckComputes verifies that the transducer network (net, t, pol,
+// mod) computes exactly `want` on `input` across the configured runs.
+// It returns nil when all runs agree, and a descriptive error naming
+// the first failing run otherwise.
+func CheckComputes(net Network, t *Transducer, pol Policy, mod Model, input, want *fact.Instance, opts ConformanceOptions) error {
+	opts = opts.withDefaults(input.Len(), len(net))
+
+	sim, err := NewSimulation(net, t, pol, mod, input)
+	if err != nil {
+		return err
+	}
+	out, err := sim.RunToQuiescence(opts.MaxRounds)
+	if err != nil {
+		return fmt.Errorf("round-robin run: %w", err)
+	}
+	if !out.Equal(want) {
+		return fmt.Errorf("round-robin run produced %v, want %v", out, want)
+	}
+
+	for seed := int64(1); seed <= int64(opts.RandomRuns); seed++ {
+		sim, err := NewSimulation(net, t, pol, mod, input)
+		if err != nil {
+			return err
+		}
+		out, err := sim.RunRandom(seed, opts.RandomSteps, opts.MaxRounds)
+		if err != nil {
+			return fmt.Errorf("random run (seed %d): %w", seed, err)
+		}
+		if !out.Equal(want) {
+			return fmt.Errorf("random run (seed %d) produced %v, want %v", seed, out, want)
+		}
+	}
+
+	if opts.ExploreDepth > 0 {
+		v, err := Explore(net, t, pol, mod, input, want, opts.ExploreDepth)
+		if err != nil {
+			return fmt.Errorf("explore: %w", err)
+		}
+		if v != nil {
+			return fmt.Errorf("explore: %w", v)
+		}
+	}
+	return nil
+}

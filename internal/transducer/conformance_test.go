@@ -1,0 +1,65 @@
+package transducer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestCheckComputesForwarder(t *testing.T) {
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	err := CheckComputes(net, forwardTransducer(), HashPolicy(net), Original, in, wantO(in),
+		ConformanceOptions{ExploreDepth: 4})
+	if err != nil {
+		t.Errorf("forwarder should conform: %v", err)
+	}
+}
+
+func TestCheckComputesDetectsWrongOutput(t *testing.T) {
+	net := MustNetwork("n1")
+	in := fact.MustParseInstance(`E(a,b)`)
+	// The echo transducer outputs only its fragment; with the wrong
+	// expected set the check must fail on the round-robin run.
+	err := CheckComputes(net, echoTransducer(), HashPolicy(net), Original, in,
+		fact.MustParseInstance(`O(z,z)`), ConformanceOptions{})
+	if err == nil {
+		t.Fatal("conformance should fail against a wrong expectation")
+	}
+	if !strings.Contains(err.Error(), "round-robin") {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestCheckComputesDetectsScheduleRace(t *testing.T) {
+	// A transducer that emits a wrong fact as soon as any message is
+	// delivered to it: correct under heartbeats only, wrong in every
+	// fair run — the conformance check must catch it.
+	bad := &Transducer{
+		Schema: Schema{
+			In:  fact.MustSchema(map[string]int{"E": 2}),
+			Out: fact.MustSchema(map[string]int{"O": 2}),
+			Msg: fact.MustSchema(map[string]int{"F": 1}),
+		},
+		Out: func(d *fact.Instance) (*fact.Instance, error) {
+			if !d.RestrictRel("F").Empty() {
+				return fact.MustParseInstance(`O(bad,bad)`), nil
+			}
+			out := fact.NewInstance()
+			for _, f := range d.Rel("E") {
+				out.Add(fact.New("O", f.Arg(0), f.Arg(1)))
+			}
+			return out, nil
+		},
+		Snd: func(d *fact.Instance) (*fact.Instance, error) {
+			return fact.MustParseInstance(`F(ping)`), nil
+		},
+	}
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b)`)
+	err := CheckComputes(net, bad, ReplicateAll(net), Original, in, wantO(in), ConformanceOptions{MaxRounds: 8})
+	if err == nil {
+		t.Fatal("conformance should catch the delivery-triggered wrong output")
+	}
+}

@@ -1,0 +1,65 @@
+package transducer_test
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/transducer"
+)
+
+// A domain-guided policy replicates a fact to the node of every value
+// it contains — Example 4.1 of the paper.
+func ExampleDomainGuided() {
+	net := transducer.MustNetwork("1", "2")
+	odd := func(v fact.Value) bool { return (v[len(v)-1]-'0')%2 == 1 }
+	alpha := transducer.AssignFunc(func(a fact.Value) []transducer.NodeID {
+		if odd(a) {
+			return []transducer.NodeID{"1"}
+		}
+		return []transducer.NodeID{"2"}
+	})
+	p := transducer.DomainGuided(alpha)
+	input := fact.MustParseInstance(`E(1,3) E(3,4) E(4,6)`)
+	h := transducer.Dist(p, net, input)
+	fmt.Println("node 1:", h["1"])
+	fmt.Println("node 2:", h["2"])
+	// Output:
+	// node 1: {E(1,3), E(3,4)}
+	// node 2: {E(3,4), E(4,6)}
+}
+
+// A fully declarative transducer: the four component queries are
+// stratified Datalog¬ programs over the visible schema.
+func ExampleDatalogTransducer() {
+	schema := transducer.Schema{
+		In:  fact.MustSchema(map[string]int{"E": 2}),
+		Out: fact.MustSchema(map[string]int{"O": 2}),
+		Msg: fact.MustSchema(map[string]int{"F": 2}),
+		Mem: fact.MustSchema(map[string]int{"Seen": 2, "Sent": 2}),
+	}
+	tr, err := transducer.DatalogTransducer(schema,
+		`O(x,y) :- E(x,y).
+		 O(x,y) :- F(x,y).
+		 O(x,y) :- Seen(x,y).`,
+		`Seen(x,y) :- F(x,y).
+		 Sent(x,y) :- E(x,y).`,
+		``,
+		`F(x,y) :- E(x,y), !Sent(x,y).`,
+	)
+	if err != nil {
+		panic(err)
+	}
+	net := transducer.MustNetwork("n1", "n2")
+	input := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	sim, err := transducer.NewSimulation(net, tr, transducer.HashPolicy(net), transducer.Original, input)
+	if err != nil {
+		panic(err)
+	}
+	out, err := sim.RunToQuiescence(16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// {O(a,b), O(b,c)}
+}

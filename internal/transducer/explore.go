@@ -1,0 +1,95 @@
+package transducer
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+)
+
+// This file implements a small exhaustive run explorer: a
+// model-checker-style sweep over all schedules of bounded depth, where
+// each step activates any node as either a heartbeat or a full-buffer
+// delivery. Runs in the paper are arbitrary interleavings with
+// arbitrary submultiset delivery; heartbeat/deliver-all scheduling is
+// a strict subset, but it already exercises the races that matter for
+// the safety property checked here (no wrong outputs in any reachable
+// configuration).
+
+// Violation describes a safety violation found by Explore: a schedule
+// (sequence of node/delivery choices) after which the network output
+// contains a fact outside the allowed set.
+type Violation struct {
+	Schedule []string
+	Output   *fact.Instance
+	Bad      fact.Fact
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("transducer: schedule %v produced out-of-answer fact %v (output %v)", v.Schedule, v.Bad, v.Output)
+}
+
+// Explore enumerates every schedule of at most depth steps from the
+// start configuration of (net, t, pol, mod) on input, checking after
+// every step that the network output stays within `allowed`. It
+// returns the first violation found, or nil if all reachable outputs
+// are sound. The number of explored runs is (2·|N|)^depth; keep depth
+// and the network small.
+func Explore(net Network, t *Transducer, pol Policy, mod Model, input, allowed *fact.Instance, depth int) (*Violation, error) {
+	type choice struct {
+		node    NodeID
+		deliver bool
+	}
+	var choices []choice
+	for _, x := range net {
+		choices = append(choices, choice{x, false}, choice{x, true})
+	}
+
+	var schedule []string
+	var rec func(s *Simulation, remaining int) (*Violation, error)
+	rec = func(s *Simulation, remaining int) (*Violation, error) {
+		out := s.Output()
+		var bad *fact.Fact
+		out.Each(func(f fact.Fact) bool {
+			if !allowed.Has(f) {
+				g := f
+				bad = &g
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return &Violation{Schedule: append([]string{}, schedule...), Output: out, Bad: *bad}, nil
+		}
+		if remaining == 0 {
+			return nil, nil
+		}
+		for _, c := range choices {
+			branch := s.Clone()
+			var err error
+			label := fmt.Sprintf("%s:hb", c.node)
+			if c.deliver {
+				label = fmt.Sprintf("%s:dl", c.node)
+				_, err = branch.Deliver(c.node)
+			} else {
+				_, err = branch.Heartbeat(c.node)
+			}
+			if err != nil {
+				return nil, err
+			}
+			schedule = append(schedule, label)
+			v, err := rec(branch, remaining-1)
+			schedule = schedule[:len(schedule)-1]
+			if err != nil || v != nil {
+				return v, err
+			}
+		}
+		return nil, nil
+	}
+
+	start, err := NewSimulation(net, t, pol, mod, input)
+	if err != nil {
+		return nil, err
+	}
+	return rec(start, depth)
+}

@@ -1,0 +1,75 @@
+package transducer
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestSimulationClone(t *testing.T) {
+	net := MustNetwork("n1", "n2")
+	sim, err := NewSimulation(net, forwardTransducer(), AllToNode("n1"), Original, graphIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	clone := sim.Clone()
+	// Step the clone; original must be unaffected.
+	if _, err := clone.Deliver("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Buffered("n2") != 3 {
+		t.Errorf("original buffer changed by clone step: %d", sim.Buffered("n2"))
+	}
+	if clone.Buffered("n2") != 0 {
+		t.Errorf("clone buffer not drained: %d", clone.Buffered("n2"))
+	}
+	if sim.State("n2").Equal(clone.State("n2")) {
+		t.Error("clone state should have diverged")
+	}
+}
+
+// Every schedule of the forwarding transducer keeps the output inside
+// the true answer (safety in all runs, not just the fair drivers).
+func TestExploreForwarderSafe(t *testing.T) {
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	v, err := Explore(net, forwardTransducer(), HashPolicy(net), Original, in, wantO(in), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("forwarder produced out-of-answer output: %v", v)
+	}
+}
+
+// Explore finds genuine violations: a transducer that immediately
+// outputs a wrong fact is caught on the first step.
+func TestExploreFindsViolations(t *testing.T) {
+	bad := &Transducer{
+		Schema: Schema{
+			In:  fact.MustSchema(map[string]int{"E": 2}),
+			Out: fact.MustSchema(map[string]int{"O": 2}),
+		},
+		Out: func(d *fact.Instance) (*fact.Instance, error) {
+			return fact.MustParseInstance(`O(wrong,wrong)`), nil
+		},
+	}
+	net := MustNetwork("n1")
+	in := fact.MustParseInstance(`E(a,b)`)
+	v, err := Explore(net, bad, HashPolicy(net), Original, in, wantO(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("violation not found")
+	}
+	if !v.Bad.Equal(fact.New("O", "wrong", "wrong")) {
+		t.Errorf("wrong violating fact: %v", v.Bad)
+	}
+	if len(v.Schedule) == 0 {
+		t.Error("violation schedule empty (violations should be found after at least one step)")
+	}
+}

@@ -1,0 +1,427 @@
+package transducer
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/fact"
+)
+
+// multiset is a message buffer: facts with multiplicities
+// (Section 4.1.3 uses multisets because the same message can be sent
+// several times and float around simultaneously).
+type multiset struct {
+	counts map[string]int
+	facts  map[string]fact.Fact
+}
+
+func newMultiset() *multiset {
+	return &multiset{counts: make(map[string]int), facts: make(map[string]fact.Fact)}
+}
+
+func (m *multiset) add(f fact.Fact, n int) {
+	k := f.Key()
+	m.counts[k] += n
+	m.facts[k] = f
+}
+
+func (m *multiset) size() int {
+	total := 0
+	for _, c := range m.counts {
+		total += c
+	}
+	return total
+}
+
+func (m *multiset) empty() bool { return len(m.counts) == 0 }
+
+// takeAll removes and returns the whole buffer collapsed to a set,
+// plus the number of message instances delivered.
+func (m *multiset) takeAll() (*fact.Instance, int) {
+	out := fact.NewInstance()
+	delivered := 0
+	for k, f := range m.facts {
+		out.Add(f)
+		delivered += m.counts[k]
+		delete(m.counts, k)
+		delete(m.facts, k)
+	}
+	return out, delivered
+}
+
+// takeRandom removes a random submultiset (each copy kept or delivered
+// with probability 1/2) and returns the delivered facts as a set.
+func (m *multiset) takeRandom(rng *rand.Rand) (*fact.Instance, int) {
+	out := fact.NewInstance()
+	delivered := 0
+	for k, f := range m.facts {
+		c := m.counts[k]
+		take := 0
+		for n := 0; n < c; n++ {
+			if rng.Intn(2) == 0 {
+				take++
+			}
+		}
+		if take == 0 {
+			continue
+		}
+		delivered += take
+		out.Add(f)
+		if take == c {
+			delete(m.counts, k)
+			delete(m.facts, k)
+		} else {
+			m.counts[k] = c - take
+		}
+	}
+	return out, delivered
+}
+
+// Metrics accumulates counters over a simulation, used by the
+// benchmark harness to compare evaluation strategies.
+type Metrics struct {
+	// Transitions counts all transitions, including heartbeats.
+	Transitions int
+	// Heartbeats counts transitions that delivered no messages.
+	Heartbeats int
+	// MessagesSent counts (fact, recipient) pairs enqueued.
+	MessagesSent int
+	// MessagesDelivered counts message instances taken from buffers.
+	MessagesDelivered int
+}
+
+// Simulation is a transducer network (N, Υ, Π, P) running on one
+// input: per-node states, message buffers, and the fixed local input
+// fragments dist_P(I).
+type Simulation struct {
+	Net   Network
+	Trans *Transducer
+	Pol   Policy
+	Mod   Model
+
+	input *fact.Instance
+	local map[NodeID]*fact.Instance
+	state map[NodeID]*fact.Instance
+	buf   map[NodeID]*multiset
+
+	// Metrics accumulates counters; reset freely between phases.
+	Metrics Metrics
+
+	// trace, when set, receives a line per transition.
+	trace io.Writer
+}
+
+// TraceTo makes the simulation log one line per transition to w:
+// the active node, how many message instances were delivered, whether
+// the state changed, and the node's output size. Pass nil to disable.
+func (s *Simulation) TraceTo(w io.Writer) { s.trace = w }
+
+// NewSimulation validates the components and builds the start
+// configuration (all states and buffers empty).
+func NewSimulation(net Network, t *Transducer, p Policy, mod Model, input *fact.Instance) (*Simulation, error) {
+	if len(net) == 0 {
+		return nil, fmt.Errorf("transducer: empty network")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var bad *fact.Fact
+	input.Each(func(f fact.Fact) bool {
+		if !t.Schema.In.Covers(f) {
+			g := f
+			bad = &g
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return nil, fmt.Errorf("transducer: input fact %v not over input schema %v", *bad, t.Schema.In)
+	}
+	s := &Simulation{
+		Net:   net,
+		Trans: t,
+		Pol:   p,
+		Mod:   mod,
+		input: input.Clone(),
+		local: Dist(p, net, input),
+		state: make(map[NodeID]*fact.Instance, len(net)),
+		buf:   make(map[NodeID]*multiset, len(net)),
+	}
+	for _, x := range net {
+		s.state[x] = fact.NewInstance()
+		s.buf[x] = newMultiset()
+	}
+	return s, nil
+}
+
+// Clone returns an independent copy of the simulation: states and
+// buffers are deep-copied, so stepping the clone leaves the original
+// untouched. Used by the exhaustive run explorer.
+func (s *Simulation) Clone() *Simulation {
+	c := &Simulation{
+		Net:     s.Net,
+		Trans:   s.Trans,
+		Pol:     s.Pol,
+		Mod:     s.Mod,
+		input:   s.input,
+		local:   s.local, // fragments are never mutated after NewSimulation
+		state:   make(map[NodeID]*fact.Instance, len(s.state)),
+		buf:     make(map[NodeID]*multiset, len(s.buf)),
+		Metrics: s.Metrics,
+	}
+	for x, st := range s.state {
+		c.state[x] = st.Clone()
+	}
+	for x, b := range s.buf {
+		nb := newMultiset()
+		for k, f := range b.facts {
+			nb.facts[k] = f
+			nb.counts[k] = b.counts[k]
+		}
+		c.buf[x] = nb
+	}
+	return c
+}
+
+// LocalInput returns node x's input fragment dist_P(I)(x).
+func (s *Simulation) LocalInput(x NodeID) *fact.Instance { return s.local[x].Clone() }
+
+// State returns a copy of node x's current state (output ∪ memory).
+func (s *Simulation) State(x NodeID) *fact.Instance { return s.state[x].Clone() }
+
+// Buffered returns the number of message instances waiting at node x.
+func (s *Simulation) Buffered(x NodeID) int { return s.buf[x].size() }
+
+// TotalBuffered returns the number of message instances in all buffers.
+func (s *Simulation) TotalBuffered() int {
+	total := 0
+	for _, b := range s.buf {
+		total += b.size()
+	}
+	return total
+}
+
+// Output returns out(R) so far: the union over all nodes of their
+// output facts.
+func (s *Simulation) Output() *fact.Instance {
+	out := fact.NewInstance()
+	for _, x := range s.Net {
+		out.AddAll(s.state[x].Restrict(s.Trans.Schema.Out))
+	}
+	return out
+}
+
+// systemFacts builds the set S of system facts shown to active node x
+// given its visible data J, per the transition semantics of
+// Section 4.1.3 (and its All-free modification from Section 4.3).
+func (s *Simulation) systemFacts(x NodeID, j *fact.Instance) *fact.Instance {
+	sys := fact.NewInstance()
+	if s.Mod.ShowId {
+		sys.Add(fact.New(RelId, x))
+	}
+	// The base A: N ∪ adom(J) with All, {x} ∪ adom(J) without.
+	a := j.ADom()
+	if s.Mod.ShowAll {
+		for _, y := range s.Net {
+			a.Add(y)
+			sys.Add(fact.New(RelAll, y))
+		}
+	} else {
+		a.Add(x)
+	}
+	if s.Mod.ShowMyAdom {
+		for v := range a {
+			sys.Add(fact.New(RelMyAdom, v))
+		}
+	}
+	if s.Mod.ShowPolicy {
+		values := a.Sorted()
+		for rel, ar := range s.Trans.Schema.In {
+			for _, tup := range enumerateTuples(values, ar) {
+				f := fact.FromTuple(rel, tup)
+				if Responsible(s.Pol, x, f) {
+					sys.Add(fact.New(PolicyRel(rel), tup...))
+				}
+			}
+		}
+	}
+	return sys
+}
+
+// transition performs one transition of the active node x with the
+// delivered message set m (already removed from the buffer). It
+// reports whether the node's state changed or any message was sent.
+func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err error) {
+	t := s.Trans
+	j := s.local[x].Union(s.state[x]).Union(m)
+	d := j.Union(s.systemFacts(x, j))
+
+	out, err := runQuery(t.Out, d, t.Schema.Out, "output")
+	if err != nil {
+		return false, err
+	}
+	ins, err := runQuery(t.Ins, d, t.Schema.Mem, "insertion")
+	if err != nil {
+		return false, err
+	}
+	del, err := runQuery(t.Del, d, t.Schema.Mem, "deletion")
+	if err != nil {
+		return false, err
+	}
+	snd, err := runQuery(t.Snd, d, t.Schema.Msg, "send")
+	if err != nil {
+		return false, err
+	}
+
+	// State update: outputs accumulate; memory applies ins/del with
+	// the cancellation semantics of Section 4.1.3.
+	st := s.state[x]
+	for _, f := range out.Facts() {
+		if st.Add(f) {
+			changed = true
+		}
+	}
+	insOnly := ins.Minus(del)
+	delOnly := del.Minus(ins)
+	for _, f := range insOnly.Facts() {
+		if st.Add(f) {
+			changed = true
+		}
+	}
+	for _, f := range delOnly.Facts() {
+		if st.Remove(f) {
+			changed = true
+		}
+	}
+
+	// Broadcast sent facts to every other node.
+	if !snd.Empty() {
+		for _, y := range s.Net {
+			if y == x {
+				continue
+			}
+			for _, f := range snd.Facts() {
+				s.buf[y].add(f, 1)
+				s.Metrics.MessagesSent++
+			}
+			changed = true
+		}
+	}
+
+	s.Metrics.Transitions++
+	if m.Empty() {
+		s.Metrics.Heartbeats++
+	}
+	if s.trace != nil {
+		kind := "deliver"
+		if m.Empty() {
+			kind = "heartbeat"
+		}
+		fmt.Fprintf(s.trace, "[%04d] %-9s at %-4s delivered=%d sent=%d changed=%-5v out=%d\n",
+			s.Metrics.Transitions, kind, x, m.Len(), snd.Len(), changed,
+			s.state[x].Restrict(t.Schema.Out).Len())
+	}
+	return changed, nil
+}
+
+// Heartbeat performs a heartbeat transition of x: no messages are
+// delivered (messages may still be sent).
+func (s *Simulation) Heartbeat(x NodeID) (bool, error) {
+	if !s.Net.Has(x) {
+		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	return s.transition(x, fact.NewInstance())
+}
+
+// Deliver performs a transition of x delivering its entire buffer.
+func (s *Simulation) Deliver(x NodeID) (bool, error) {
+	if !s.Net.Has(x) {
+		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	m, n := s.buf[x].takeAll()
+	s.Metrics.MessagesDelivered += n
+	return s.transition(x, m)
+}
+
+// DeliverWhere performs a transition of x delivering exactly the
+// buffered facts satisfying pred (all copies of each). Runs are free
+// to deliver any submultiset, so this models an adversarial but fair
+// scheduler; tests use it to open race windows deterministically.
+func (s *Simulation) DeliverWhere(x NodeID, pred func(fact.Fact) bool) (bool, error) {
+	if !s.Net.Has(x) {
+		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	b := s.buf[x]
+	m := fact.NewInstance()
+	for k, f := range b.facts {
+		if !pred(f) {
+			continue
+		}
+		s.Metrics.MessagesDelivered += b.counts[k]
+		m.Add(f)
+		delete(b.counts, k)
+		delete(b.facts, k)
+	}
+	return s.transition(x, m)
+}
+
+// DeliverRandom performs a transition of x delivering a random
+// submultiset of its buffer.
+func (s *Simulation) DeliverRandom(x NodeID, rng *rand.Rand) (bool, error) {
+	if !s.Net.Has(x) {
+		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	m, n := s.buf[x].takeRandom(rng)
+	s.Metrics.MessagesDelivered += n
+	return s.transition(x, m)
+}
+
+// ErrNoQuiescence is wrapped by run drivers when the bound is
+// exhausted before the network stabilizes.
+var ErrNoQuiescence = fmt.Errorf("transducer: network did not quiesce within the round bound")
+
+// RunToQuiescence activates the nodes round-robin, delivering full
+// buffers (a fair run), until a full round changes no state, sends no
+// message, and leaves every buffer empty. It returns the network
+// output out(R). Transducers whose runs do not stabilize within
+// maxRounds yield ErrNoQuiescence.
+func (s *Simulation) RunToQuiescence(maxRounds int) (*fact.Instance, error) {
+	for round := 0; round < maxRounds; round++ {
+		roundChanged := false
+		for _, x := range s.Net {
+			changed, err := s.Deliver(x)
+			if err != nil {
+				return nil, err
+			}
+			if changed {
+				roundChanged = true
+			}
+		}
+		if !roundChanged && s.TotalBuffered() == 0 {
+			return s.Output(), nil
+		}
+	}
+	return nil, fmt.Errorf("%w (maxRounds=%d)", ErrNoQuiescence, maxRounds)
+}
+
+// RunRandom interleaves randomSteps random transitions (random active
+// node, random submultiset delivery — exercising the nondeterminism of
+// runs) and then drives the network to quiescence round-robin. The
+// seed makes runs reproducible.
+func (s *Simulation) RunRandom(seed int64, randomSteps, maxRounds int) (*fact.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < randomSteps; n++ {
+		x := s.Net[rng.Intn(len(s.Net))]
+		if rng.Intn(4) == 0 {
+			if _, err := s.Heartbeat(x); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := s.DeliverRandom(x, rng); err != nil {
+			return nil, err
+		}
+	}
+	return s.RunToQuiescence(maxRounds)
+}

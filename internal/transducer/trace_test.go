@@ -1,0 +1,63 @@
+package transducer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestTraceOutput(t *testing.T) {
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b)`)
+	sim, err := NewSimulation(net, forwardTransducer(), AllToNode("n1"), Original, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sim.TraceTo(&buf)
+	if _, err := sim.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Deliver("n2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "heartbeat") || !strings.Contains(lines[0], "n1") {
+		t.Errorf("first trace line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "deliver") || !strings.Contains(lines[1], "delivered=1") {
+		t.Errorf("second trace line wrong: %q", lines[1])
+	}
+
+	// Disabling stops further output.
+	sim.TraceTo(nil)
+	if _, err := sim.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != out {
+		t.Error("trace emitted after being disabled")
+	}
+}
+
+// Clones never inherit the trace sink (the explorer would flood it).
+func TestCloneDropsTrace(t *testing.T) {
+	net := MustNetwork("n1")
+	sim, err := NewSimulation(net, echoTransducer(), HashPolicy(net), Original, fact.MustParseInstance(`E(a,b)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sim.TraceTo(&buf)
+	clone := sim.Clone()
+	if _, err := clone.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("clone wrote to the parent's trace sink")
+	}
+}

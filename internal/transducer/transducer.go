@@ -1,0 +1,134 @@
+package transducer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fact"
+)
+
+// System relation names (Section 4.1.2). The policyR relations are
+// named by prefixing the input relation name.
+const (
+	RelId        = "Id"
+	RelAll       = "All"
+	RelMyAdom    = "MyAdom"
+	PolicyPrefix = "Policy_"
+)
+
+// PolicyRel returns the name of the policyR system relation for input
+// relation rel.
+func PolicyRel(rel string) string { return PolicyPrefix + rel }
+
+// Schema is a transducer schema Υ: the four user-controlled schemas
+// (input, output, message, memory); the system schema is implied by
+// the model and the input schema.
+type Schema struct {
+	In, Out, Msg, Mem fact.Schema
+}
+
+// Validate checks that the four schemas have pairwise disjoint
+// relation names and reserve no system names.
+func (s Schema) Validate() error {
+	parts := []struct {
+		name string
+		sch  fact.Schema
+	}{{"input", s.In}, {"output", s.Out}, {"message", s.Msg}, {"memory", s.Mem}}
+	seen := make(map[string]string)
+	for _, part := range parts {
+		for rel := range part.sch {
+			if prev, ok := seen[rel]; ok {
+				return fmt.Errorf("transducer: relation %s declared in both %s and %s schemas", rel, prev, part.name)
+			}
+			seen[rel] = part.name
+			if rel == RelId || rel == RelAll || rel == RelMyAdom || strings.HasPrefix(rel, PolicyPrefix) {
+				return fmt.Errorf("transducer: relation name %s is reserved for the system schema", rel)
+			}
+		}
+	}
+	return nil
+}
+
+// Model selects which system relations a transducer can see,
+// identifying the model variants of Sections 4.1 and 4.3.
+type Model struct {
+	// ShowId exposes Id(x) at node x. Oblivious transducers lack it.
+	ShowId bool
+	// ShowAll exposes All(y) for every node y. The A0/A1/A2 variants
+	// of Theorem 4.5 drop it; the active-domain base A then shrinks
+	// from N ∪ adom(J) to {x} ∪ adom(J).
+	ShowAll bool
+	// ShowMyAdom exposes MyAdom(a) for each a in the base A.
+	ShowMyAdom bool
+	// ShowPolicy exposes Policy_R(ā) for the tuples ā over A that x
+	// is responsible for.
+	ShowPolicy bool
+}
+
+// The models studied in the paper.
+var (
+	// Original is the transducer model of [13]: Id and All only (F0).
+	Original = Model{ShowId: true, ShowAll: true}
+	// PolicyAware is the model of [32]: adds MyAdom and policyR (F1;
+	// F2 when the distribution policy is domain-guided).
+	PolicyAware = Model{ShowId: true, ShowAll: true, ShowMyAdom: true, ShowPolicy: true}
+	// OriginalNoAll is the original model without All (the A0 variant).
+	OriginalNoAll = Model{ShowId: true}
+	// PolicyAwareNoAll is the policy-aware model without All (A1/A2).
+	PolicyAwareNoAll = Model{ShowId: true, ShowMyAdom: true, ShowPolicy: true}
+	// Oblivious has neither Id nor All (Section 4.3, last remark).
+	Oblivious = Model{}
+)
+
+// Query is one of the four transducer queries: a deterministic mapping
+// from the visible instance D (input ∪ output ∪ message ∪ memory ∪
+// system facts) to facts over the query's target schema.
+type Query func(d *fact.Instance) (*fact.Instance, error)
+
+// Transducer is a (policy-aware) relational transducer Π over a
+// schema Υ: the quadruple (Qout, Qins, Qdel, Qsnd) of Section 4.1.2.
+// Nil queries behave as constant-empty.
+type Transducer struct {
+	Schema Schema
+	// Out produces new output facts (target schema Out). Output facts
+	// accumulate and are never retracted.
+	Out Query
+	// Ins and Del produce memory insertions and deletions (target
+	// schema Mem); inserted-and-deleted facts cancel out per the
+	// transition semantics.
+	Ins Query
+	Del Query
+	// Snd produces message facts (target schema Msg) that are
+	// broadcast to every other node.
+	Snd Query
+}
+
+// Validate checks the schema.
+func (t *Transducer) Validate() error {
+	return t.Schema.Validate()
+}
+
+// runQuery evaluates a possibly-nil query and verifies the result is
+// over the target schema.
+func runQuery(q Query, d *fact.Instance, target fact.Schema, what string) (*fact.Instance, error) {
+	if q == nil {
+		return fact.NewInstance(), nil
+	}
+	out, err := q(d)
+	if err != nil {
+		return nil, fmt.Errorf("transducer: %s query: %w", what, err)
+	}
+	var bad *fact.Fact
+	out.Each(func(f fact.Fact) bool {
+		if !target.Covers(f) {
+			g := f
+			bad = &g
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return nil, fmt.Errorf("transducer: %s query produced fact %v outside its target schema %v", what, *bad, target)
+	}
+	return out, nil
+}
