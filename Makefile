@@ -1,0 +1,26 @@
+# Convenience targets; `make check` is the gate new changes must pass.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Mode-ablation benchmarks (naive vs semi-naive vs parallel). Use
+# -cpu to size the worker pool, e.g. make bench BENCHFLAGS='-cpu 4'.
+BENCHFLAGS ?=
+bench:
+	$(GO) test -run '^$$' -bench 'NaiveVsSemiNaive|ParallelTC|WFSModes|WinMove' -benchmem $(BENCHFLAGS) .
+
+check:
+	sh scripts/check.sh

@@ -74,22 +74,69 @@ func BenchmarkFig2Fragments(b *testing.B) {
 	}
 }
 
+// evalModes enumerates the fixpoint strategies compared by the mode
+// ablation benchmarks, in reporting order. Parallel mode uses
+// GOMAXPROCS workers; run with -cpu 4 (or higher) to measure the
+// multi-core speedup.
+var evalModes = []struct {
+	name string
+	mode datalog.EvalMode
+}{
+	{"naive", datalog.Naive},
+	{"seminaive", datalog.SemiNaive},
+	{"parallel", datalog.Parallel},
+}
+
 // BenchmarkNaiveVsSemiNaive is the PERF.1 ablation: transitive closure
-// over chains and random graphs under both fixpoint strategies.
+// over chains and random graphs under all three fixpoint strategies.
 func BenchmarkNaiveVsSemiNaive(b *testing.B) {
 	tc := queries.TCProgram()
-	inputs := map[string]*fact.Instance{
-		"chain32":      generate.Path("v", 32),
-		"cycle24":      generate.Cycle("v", 24),
-		"random48":     generate.RandomGraph(newRand(1), "v", 16, 48),
-		"grid5x5":      generate.Grid("g", 5, 5),
-		"tournament10": generate.Tournament(newRand(2), "v", 10),
+	inputs := []struct {
+		name string
+		in   *fact.Instance
+	}{
+		{"chain32", generate.Path("v", 32)},
+		{"cycle24", generate.Cycle("v", 24)},
+		{"random48", generate.RandomGraph(newRand(1), "v", 16, 48)},
+		{"grid5x5", generate.Grid("g", 5, 5)},
+		{"tournament10", generate.Tournament(newRand(2), "v", 10)},
 	}
-	for name, in := range inputs {
-		for mode, opt := range map[string]datalog.EvalMode{"naive": datalog.Naive, "seminaive": datalog.SemiNaive} {
-			b.Run(name+"/"+mode, func(b *testing.B) {
+	for _, c := range inputs {
+		for _, m := range evalModes {
+			b.Run(c.name+"/"+m.name, func(b *testing.B) {
 				for n := 0; n < b.N; n++ {
-					if _, err := tc.Fixpoint(in, datalog.FixpointOptions{Mode: opt}); err != nil {
+					if _, err := tc.Fixpoint(c.in, datalog.FixpointOptions{Mode: m.mode}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelTC is the PERF.4 ablation: transitive closure on
+// larger graphs under the incremental strategies, where per-round
+// deltas are big enough for the parallel engine's fan-out to matter.
+// Naive mode is omitted (its quadratic re-derivation dominates and
+// PERF.1 already records it).
+func BenchmarkParallelTC(b *testing.B) {
+	tc := queries.TCProgram()
+	inputs := []struct {
+		name string
+		in   *fact.Instance
+	}{
+		{"chain96", generate.Path("v", 96)},
+		{"random240", generate.RandomGraph(newRand(3), "v", 60, 240)},
+		{"grid8x8", generate.Grid("g", 8, 8)},
+	}
+	for _, c := range inputs {
+		for _, m := range evalModes {
+			if m.mode == datalog.Naive {
+				continue
+			}
+			b.Run(c.name+"/"+m.name, func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					if _, err := tc.Fixpoint(c.in, datalog.FixpointOptions{Mode: m.mode}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -205,23 +252,29 @@ func BenchmarkExplore(b *testing.B) {
 	}
 }
 
+// winMoveGame builds the game graph used by the win-move benchmarks: a
+// chain of moves with some back-edges, mixing won, lost and drawn
+// positions.
+func winMoveGame(size int) *fact.Instance {
+	game := fact.NewInstance()
+	for k := 0; k < size; k++ {
+		game.Add(fact.New("Move",
+			fact.Value(fmt.Sprintf("p%d", k)),
+			fact.Value(fmt.Sprintf("p%d", k+1))))
+		if k%3 == 0 {
+			game.Add(fact.New("Move",
+				fact.Value(fmt.Sprintf("p%d", k+1)),
+				fact.Value(fmt.Sprintf("p%d", k))))
+		}
+	}
+	return game
+}
+
 // BenchmarkWinMove measures the alternating-fixpoint well-founded
 // evaluation of win-move on growing game graphs (PERF.3).
 func BenchmarkWinMove(b *testing.B) {
 	for _, size := range []int{8, 16, 32} {
-		game := fact.NewInstance()
-		// A chain of moves with some back-edges: mixes won, lost and
-		// drawn positions.
-		for k := 0; k < size; k++ {
-			game.Add(fact.New("Move",
-				fact.Value(fmt.Sprintf("p%d", k)),
-				fact.Value(fmt.Sprintf("p%d", k+1))))
-			if k%3 == 0 {
-				game.Add(fact.New("Move",
-					fact.Value(fmt.Sprintf("p%d", k+1)),
-					fact.Value(fmt.Sprintf("p%d", k))))
-			}
-		}
+		game := winMoveGame(size)
 		b.Run(fmt.Sprintf("positions%d", size+1), func(b *testing.B) {
 			prog := queries.WinMoveProgram()
 			for n := 0; n < b.N; n++ {
@@ -237,17 +290,7 @@ func BenchmarkWinMove(b *testing.B) {
 // with the doubled-program route on the same game graphs (PERF.3b).
 func BenchmarkWFSDirectVsDoubled(b *testing.B) {
 	prog := queries.WinMoveProgram()
-	game := fact.NewInstance()
-	for k := 0; k < 16; k++ {
-		game.Add(fact.New("Move",
-			fact.Value(fmt.Sprintf("p%d", k)),
-			fact.Value(fmt.Sprintf("p%d", k+1))))
-		if k%3 == 0 {
-			game.Add(fact.New("Move",
-				fact.Value(fmt.Sprintf("p%d", k+1)),
-				fact.Value(fmt.Sprintf("p%d", k))))
-		}
-	}
+	game := winMoveGame(16)
 	b.Run("direct", func(b *testing.B) {
 		for n := 0; n < b.N; n++ {
 			if _, err := queries.WellFounded(prog, game); err != nil {
@@ -262,6 +305,27 @@ func BenchmarkWFSDirectVsDoubled(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWFSModes compares the three fixpoint modes inside the
+// doubled-program route to the well-founded semantics of win-move
+// (the doubling workload of PERF.4): the doubled program is stratified,
+// so every EvalMode applies directly.
+func BenchmarkWFSModes(b *testing.B) {
+	prog := queries.WinMoveProgram()
+	for _, size := range []int{16, 32} {
+		game := winMoveGame(size)
+		for _, m := range evalModes {
+			b.Run(fmt.Sprintf("positions%d/%s", size+1, m.name), func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					opts := datalog.FixpointOptions{Mode: m.mode}
+					if _, err := queries.WellFoundedViaDoubledOpts(prog, game, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkCoordinationFreeWitness measures the Definition 3 check

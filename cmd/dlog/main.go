@@ -36,7 +36,8 @@ func main() {
 		programPath = flag.String("program", "", "path to the Datalog¬ program (required)")
 		inputPath   = flag.String("input", "", "path to the input instance (default: empty instance)")
 		outRels     = flag.String("out", "", "comma-separated output relations (default: print all derived facts)")
-		mode        = flag.String("mode", "seminaive", "fixpoint evaluation mode: seminaive or naive")
+		mode        = flag.String("mode", "seminaive", "fixpoint evaluation mode: seminaive, naive or parallel")
+		workers     = flag.Int("workers", 0, "worker goroutines for -mode parallel and -ilog (0 = GOMAXPROCS)")
 		wfs         = flag.Bool("wfs", false, "evaluate under the well-founded semantics (alternating fixpoint)")
 		useIlog     = flag.Bool("ilog", false, "parse as an ILOG¬ program with invention heads like Id(*, x, y)")
 		adom        = flag.Bool("adom", false, "append rules computing the conventional Adom relation")
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *useIlog {
-		runIlog(string(src), input, *outRels)
+		runIlog(string(src), input, *outRels, *workers)
 		return
 	}
 
@@ -94,15 +95,11 @@ func main() {
 		return
 	}
 
-	var opts datalog.FixpointOptions
-	switch *mode {
-	case "seminaive":
-		opts.Mode = datalog.SemiNaive
-	case "naive":
-		opts.Mode = datalog.Naive
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	evalMode, err := datalog.ParseEvalMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
+	opts := datalog.FixpointOptions{Mode: evalMode, Workers: *workers}
 	out, err := prog.EvalStratified(input, opts)
 	if err != nil {
 		fatal(err)
@@ -111,13 +108,13 @@ func main() {
 }
 
 // runIlog parses and evaluates an ILOG¬ program with invention.
-func runIlog(src string, input *fact.Instance, outRels string) {
+func runIlog(src string, input *fact.Instance, outRels string, workers int) {
 	prog, err := ilog.ParseProgram(src)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("semi-connected: %v\n", prog.IsSemiConnected())
-	full, err := prog.Eval(input, ilog.Options{})
+	full, err := prog.Eval(input, ilog.Options{Workers: workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -2,17 +2,19 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/fact"
 )
 
 // This file implements the semantics of semi-positive Datalog¬
 // programs (Section 2): the immediate consequence operator TP and its
-// minimal fixpoint, with two interchangeable evaluation strategies —
-// naive (recompute all rules each round; the correctness oracle) and
+// minimal fixpoint, with three interchangeable evaluation strategies —
+// naive (recompute all rules each round; the correctness oracle),
 // semi-naive (each round only joins that touch at least one
-// newly-derived fact; the default). Stratified programs are evaluated
-// stratum by stratum in stratify.go.
+// newly-derived fact; the default), and parallel (semi-naive with the
+// per-round joins fanned across a worker pool; see parallel.go).
+// Stratified programs are evaluated stratum by stratum in stratify.go.
 
 // EvalMode selects the fixpoint evaluation strategy.
 type EvalMode int
@@ -24,75 +26,44 @@ const (
 	// round. Quadratically slower; kept as an oracle and for the
 	// ablation benchmark.
 	Naive
+	// Parallel is semi-naive with each round's (rule, delta-chunk)
+	// join tasks fanned across a worker pool. Workers derive into
+	// private buffers that are merged at the round barrier, so the
+	// result is identical to SemiNaive.
+	Parallel
 )
+
+// String returns the mode's canonical CLI spelling.
+func (m EvalMode) String() string {
+	switch m {
+	case SemiNaive:
+		return "seminaive"
+	case Naive:
+		return "naive"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("EvalMode(%d)", int(m))
+	}
+}
+
+// ParseEvalMode parses a mode name as spelled by String — "seminaive",
+// "naive" or "parallel".
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "seminaive":
+		return SemiNaive, nil
+	case "naive":
+		return Naive, nil
+	case "parallel":
+		return Parallel, nil
+	default:
+		return 0, fmt.Errorf("datalog: unknown evaluation mode %q (want seminaive, naive or parallel)", s)
+	}
+}
 
 // Bindings maps variable names to domain values during rule matching.
 type Bindings map[string]fact.Value
-
-// argKey addresses the facts of a relation holding a given value at a
-// given argument position — the access path for index-assisted joins.
-type argKey struct {
-	rel string
-	pos int
-	val fact.Value
-}
-
-// relIndex indexes an instance by relation name and additionally by
-// (relation, position, value), so that rule evaluation can narrow the
-// candidate facts for an atom whose argument is already bound.
-type relIndex struct {
-	byRel map[string][]fact.Fact
-	byArg map[argKey][]fact.Fact
-}
-
-func newRelIndex() *relIndex {
-	return &relIndex{
-		byRel: make(map[string][]fact.Fact),
-		byArg: make(map[argKey][]fact.Fact),
-	}
-}
-
-func indexInstance(i *fact.Instance) *relIndex {
-	idx := newRelIndex()
-	for _, f := range i.Facts() {
-		idx.add(f)
-	}
-	return idx
-}
-
-func (idx *relIndex) add(f fact.Fact) {
-	idx.byRel[f.Rel()] = append(idx.byRel[f.Rel()], f)
-	for p := 0; p < f.Arity(); p++ {
-		k := argKey{f.Rel(), p, f.Arg(p)}
-		idx.byArg[k] = append(idx.byArg[k], f)
-	}
-}
-
-// candidates returns the facts that can possibly match the atom under
-// the current bindings: the narrowest per-argument index available, or
-// the full relation when no argument is bound yet.
-func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
-	best := idx.byRel[a.Rel]
-	found := false
-	for p, t := range a.Args {
-		var v fact.Value
-		if t.IsVar() {
-			bound, ok := b[t.Var]
-			if !ok {
-				continue
-			}
-			v = bound
-		} else {
-			v = t.Const
-		}
-		cand := idx.byArg[argKey{a.Rel, p, v}]
-		if !found || len(cand) < len(best) {
-			best = cand
-			found = true
-		}
-	}
-	return best
-}
 
 // matchAtom attempts to extend the bindings so that the atom matches
 // the fact. It returns the variables newly bound (for backtracking)
@@ -157,7 +128,7 @@ func termValue(t Term, b Bindings) (fact.Value, bool) {
 }
 
 // checkGuards verifies the negative atoms and inequalities of a rule
-// under complete bindings, against the instance held in idx.
+// under complete bindings, against the instance held in data.
 func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
 	for _, q := range r.Ineq {
 		av, aok := termValue(q.A, b)
@@ -181,16 +152,27 @@ func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
 	return true, nil
 }
 
-// evalRule enumerates all satisfying valuations of r against data
-// (indexed in idx). If deltaAtom >= 0, the positive atom at that index
-// ranges over deltaFacts instead of the full index (the semi-naive
-// discipline); the other atoms range over the full index. Derived head
-// facts are passed to emit.
-func evalRule(r Rule, idx *relIndex, data *fact.Instance, deltaAtom int, deltaFacts []fact.Fact, emit func(fact.Fact) error) error {
+// matchRule enumerates all satisfying valuations of r's body against
+// data (indexed in idx) and calls yield for each. The bindings passed
+// to yield are live — callers needing to retain them must snapshot.
+//
+// If pin >= 0, the positive atom at that index is matched first and
+// ranges over pinFacts instead of the index: this implements both the
+// semi-naive delta discipline (pin the atom whose relation changed to
+// the newly-derived facts) and the parallel engine's work partitioning
+// (pin an atom to a chunk of its relation).
+//
+// The remaining atoms are ordered by selectivity: at each step the
+// unmatched atom with the fewest candidate facts under the current
+// bindings is matched next, so atoms with bound arguments are joined
+// before unconstrained scans.
+func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, yield func(Bindings) error) error {
+	n := len(r.Pos)
 	b := make(Bindings)
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(r.Pos) {
+	used := make([]bool, n)
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == n {
 			ok, err := checkGuards(r, b, data)
 			if err != nil {
 				return err
@@ -198,31 +180,58 @@ func evalRule(r Rule, idx *relIndex, data *fact.Instance, deltaAtom int, deltaFa
 			if !ok {
 				return nil
 			}
-			h, err := groundAtom(r.Head, b)
-			if err != nil {
-				return err
-			}
-			return emit(h)
+			return yield(b)
 		}
-		var candidates []fact.Fact
-		if k == deltaAtom {
-			candidates = deltaFacts
+		// Pick the next atom: the pinned atom first, then greedily the
+		// most selective remaining one.
+		var k int
+		var cand []fact.Fact
+		if depth == 0 && pin >= 0 {
+			k, cand = pin, pinFacts
 		} else {
-			candidates = idx.candidates(r.Pos[k], b)
+			k = -1
+			for j := 0; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				c := idx.candidates(r.Pos[j], b)
+				if k < 0 || len(c) < len(cand) {
+					k, cand = j, c
+					if len(cand) == 0 {
+						break
+					}
+				}
+			}
 		}
-		for _, f := range candidates {
+		used[k] = true
+		for _, f := range cand {
 			added, ok := matchAtom(r.Pos[k], f, b)
 			if !ok {
 				continue
 			}
-			if err := rec(k + 1); err != nil {
+			if err := rec(depth + 1); err != nil {
+				used[k] = false
 				return err
 			}
 			unbind(b, added)
 		}
+		used[k] = false
 		return nil
 	}
 	return rec(0)
+}
+
+// evalRule enumerates all satisfying valuations of r against data
+// (indexed in idx) and passes the derived head facts to emit. pin and
+// pinFacts are as for matchRule; pass pin = -1 for a full evaluation.
+func evalRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, emit func(fact.Fact) error) error {
+	return matchRule(r, idx, data, pin, pinFacts, func(b Bindings) error {
+		h, err := groundAtom(r.Head, b)
+		if err != nil {
+			return err
+		}
+		return emit(h)
+	})
 }
 
 // Valuations enumerates every satisfying valuation of the rule against
@@ -230,50 +239,37 @@ func evalRule(r Rule, idx *relIndex, data *fact.Instance, deltaAtom int, deltaFa
 // rule, satisfies the positive body, avoids the negative body, and
 // respects the inequalities. Used by the wILOG¬ evaluator, which
 // constructs head facts (possibly with invented values) itself.
+//
+// Valuations indexes the instance on every call; round-based callers
+// should build an IndexedInstance once and use its Valuations method.
 func Valuations(r Rule, data *fact.Instance, emit func(Bindings) error) error {
-	if err := r.Validate(); err != nil {
-		return err
-	}
-	idx := indexInstance(data)
-	b := make(Bindings)
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(r.Pos) {
-			ok, err := checkGuards(r, b, data)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			snapshot := make(Bindings, len(b))
-			for v, val := range b {
-				snapshot[v] = val
-			}
-			return emit(snapshot)
-		}
-		for _, f := range idx.candidates(r.Pos[k], b) {
-			added, ok := matchAtom(r.Pos[k], f, b)
-			if !ok {
-				continue
-			}
-			if err := rec(k + 1); err != nil {
-				return err
-			}
-			unbind(b, added)
-		}
-		return nil
-	}
-	return rec(0)
+	return IndexInstance(data).Valuations(r, emit)
 }
 
 // FixpointOptions configures fixpoint evaluation.
 type FixpointOptions struct {
 	Mode EvalMode
-	// MaxRounds bounds the number of TP applications; 0 means
-	// unbounded. Datalog¬ fixpoints always terminate on finite
-	// inputs, so the bound exists only for defensive use.
+	// MaxRounds bounds the number of productive TP applications —
+	// rounds that derive at least one new fact; the final pass that
+	// merely confirms the fixpoint is free. 0 means unbounded.
+	// Datalog¬ fixpoints always terminate on finite inputs, so the
+	// bound exists only for defensive use. All modes enforce the bound
+	// identically: a program whose fixpoint needs k productive rounds
+	// succeeds iff MaxRounds == 0 or MaxRounds >= k.
 	MaxRounds int
+	// Workers sets the worker-pool size for Parallel mode; 0 means
+	// GOMAXPROCS. Ignored by the other modes.
+	Workers int
+}
+
+func (o FixpointOptions) workers() int {
+	if o.Mode != Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Fixpoint computes the minimal fixpoint of the TP operator for a
@@ -290,104 +286,85 @@ func (p *Program) Fixpoint(input *fact.Instance, opts FixpointOptions) (*fact.In
 	if !p.IsSemiPositive() {
 		return nil, fmt.Errorf("datalog: Fixpoint requires a semi-positive program; use EvalStratified")
 	}
-	return fixpointUnchecked(p.Rules, input, opts)
+	x := IndexInstance(input.Clone())
+	if err := evalStratum(p.Rules, x, opts); err != nil {
+		return nil, err
+	}
+	return x.Instance(), nil
 }
 
-// fixpointUnchecked runs the fixpoint loop assuming negated relations
-// are static (semi-positive, or a stratum of a stratified program).
-func fixpointUnchecked(rules []Rule, input *fact.Instance, opts FixpointOptions) (*fact.Instance, error) {
-	full := input.Clone()
-	idx := indexInstance(full)
-
+// evalStratum runs the fixpoint loop for one stratum in place on x,
+// assuming negated relations are static (semi-positive, or a stratum
+// of a stratified program). The shared IndexedInstance is what makes
+// index reuse across strata possible.
+func evalStratum(rules []Rule, x *IndexedInstance, opts FixpointOptions) error {
 	switch opts.Mode {
 	case Naive:
-		return naiveLoop(rules, full, idx, opts.MaxRounds)
-	case SemiNaive:
-		return semiNaiveLoop(rules, full, idx, opts.MaxRounds)
+		return naiveLoop(rules, x, opts.MaxRounds)
+	case SemiNaive, Parallel:
+		return semiNaiveLoop(rules, x, opts.MaxRounds, opts.workers())
 	default:
-		return nil, fmt.Errorf("datalog: unknown evaluation mode %d", opts.Mode)
+		return fmt.Errorf("datalog: unknown evaluation mode %d", opts.Mode)
 	}
 }
 
-func naiveLoop(rules []Rule, full *fact.Instance, idx *relIndex, maxRounds int) (*fact.Instance, error) {
-	for round := 0; ; round++ {
-		if maxRounds > 0 && round >= maxRounds {
-			return nil, fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
-		}
-		var derived []fact.Fact
+func errMaxRounds(maxRounds int) error {
+	return fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
+}
+
+func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int) error {
+	productive := 0
+	for {
+		derived := fact.NewInstance()
 		for _, r := range rules {
-			err := evalRule(r, idx, full, -1, nil, func(h fact.Fact) error {
-				if !full.Has(h) {
-					derived = append(derived, h)
+			err := evalRule(r, x.idx, x.data, -1, nil, func(h fact.Fact) error {
+				if !x.Has(h) {
+					derived.Add(h)
 				}
 				return nil
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
-		changed := false
-		for _, h := range derived {
-			if full.Add(h) {
-				idx.add(h)
-				changed = true
-			}
+		if derived.Empty() {
+			return nil
 		}
-		if !changed {
-			return full, nil
+		productive++
+		if maxRounds > 0 && productive > maxRounds {
+			return errMaxRounds(maxRounds)
+		}
+		for _, h := range derived.Facts() {
+			x.Add(h)
 		}
 	}
 }
 
-func semiNaiveLoop(rules []Rule, full *fact.Instance, idx *relIndex, maxRounds int) (*fact.Instance, error) {
-	// Round 0 is a naive pass; afterwards, each rule is re-evaluated
-	// once per positive atom whose relation gained facts, with that
-	// atom restricted to the delta.
-	delta := fact.NewInstance()
-	for _, r := range rules {
-		err := evalRule(r, idx, full, -1, nil, func(h fact.Fact) error {
-			if !full.Has(h) {
-				delta.Add(h)
-			}
-			return nil
-		})
+// semiNaiveLoop is the delta-driven fixpoint: round 0 is a full pass;
+// afterwards each rule is re-evaluated once per positive atom whose
+// relation gained facts, with that atom pinned to the delta. With
+// workers > 1 every round's tasks run on a worker pool (parallel.go);
+// the derived facts are identical either way.
+func semiNaiveLoop(rules []Rule, x *IndexedInstance, maxRounds, workers int) error {
+	delta, err := runRound(fullPassTasks(rules, x, workers), x, workers)
+	if err != nil {
+		return err
+	}
+	productive := 0
+	for !delta.Empty() {
+		productive++
+		if maxRounds > 0 && productive > maxRounds {
+			return errMaxRounds(maxRounds)
+		}
+		deltaByRel := make(map[string][]fact.Fact)
+		for _, h := range delta.Facts() {
+			x.Add(h)
+			deltaByRel[h.Rel()] = append(deltaByRel[h.Rel()], h)
+		}
+		delta, err = runRound(deltaTasks(rules, deltaByRel, workers), x, workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	for _, h := range delta.Facts() {
-		full.Add(h)
-		idx.add(h)
-	}
-
-	for round := 1; !delta.Empty(); round++ {
-		if maxRounds > 0 && round >= maxRounds {
-			return nil, fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
-		}
-		deltaIdx := indexInstance(delta)
-		next := fact.NewInstance()
-		for _, r := range rules {
-			for k := range r.Pos {
-				dfacts := deltaIdx.byRel[r.Pos[k].Rel]
-				if len(dfacts) == 0 {
-					continue
-				}
-				err := evalRule(r, idx, full, k, dfacts, func(h fact.Fact) error {
-					if !full.Has(h) {
-						next.Add(h)
-					}
-					return nil
-				})
-				if err != nil {
-					return nil, err
-				}
-			}
-		}
-		for _, h := range next.Facts() {
-			full.Add(h)
-			idx.add(h)
-		}
-		delta = next
-	}
-	return full, nil
+	return nil
 }

@@ -41,7 +41,8 @@ func FuzzParseProgram(f *testing.F) {
 }
 
 // FuzzEvalSmall evaluates accepted programs on a tiny fixed instance;
-// the engine must never panic, and naive/semi-naive must agree.
+// the engine must never panic, and all evaluation modes — naive,
+// semi-naive and parallel — must agree.
 func FuzzEvalSmall(f *testing.F) {
 	for _, seed := range []string{
 		"T(x,y) :- E(x,y).",
@@ -66,11 +67,12 @@ func FuzzEvalSmall(f *testing.F) {
 		}
 		a, errA := p.EvalStratified(in, FixpointOptions{Mode: Naive, MaxRounds: 64})
 		b, errB := p.EvalStratified(in, FixpointOptions{Mode: SemiNaive, MaxRounds: 64})
-		if (errA == nil) != (errB == nil) {
-			t.Fatalf("modes disagree on error: naive=%v seminaive=%v", errA, errB)
+		c, errC := p.EvalStratified(in, FixpointOptions{Mode: Parallel, MaxRounds: 64, Workers: 4})
+		if (errA == nil) != (errB == nil) || (errA == nil) != (errC == nil) {
+			t.Fatalf("modes disagree on error: naive=%v seminaive=%v parallel=%v", errA, errB, errC)
 		}
-		if errA == nil && !a.Equal(b) {
-			t.Fatalf("modes disagree on program:\n%s\nnaive=%v\nseminaive=%v", p, a, b)
+		if errA == nil && (!a.Equal(b) || !a.Equal(c)) {
+			t.Fatalf("modes disagree on program:\n%s\nnaive=%v\nseminaive=%v\nparallel=%v", p, a, b, c)
 		}
 	})
 }

@@ -1,0 +1,203 @@
+package datalog
+
+import (
+	"sync"
+
+	"repro/internal/fact"
+)
+
+// This file implements the persistent, incrementally-maintained index
+// the fixpoint engines evaluate against. Historically every call to
+// Valuations rebuilt the full (relation, position, value) index from
+// scratch, which made round-based callers — the wILOG¬ evaluator, the
+// alternating fixpoint — quadratic in the number of rounds. An
+// IndexedInstance is built once and kept in sync fact-by-fact, so it
+// can be shared across fixpoint rounds and across the strata of a
+// stratified evaluation.
+
+// argKey addresses the facts of a relation holding a given value at a
+// given argument position — the access path for index-assisted joins.
+type argKey struct {
+	rel string
+	pos int
+	val fact.Value
+}
+
+// relIndex indexes an instance by relation name and additionally by
+// (relation, position, value), so that rule evaluation can narrow the
+// candidate facts for an atom whose argument is already bound.
+type relIndex struct {
+	byRel map[string][]fact.Fact
+	byArg map[argKey][]fact.Fact
+}
+
+func newRelIndex() *relIndex {
+	return &relIndex{
+		byRel: make(map[string][]fact.Fact),
+		byArg: make(map[argKey][]fact.Fact),
+	}
+}
+
+func indexInstance(i *fact.Instance) *relIndex {
+	idx := newRelIndex()
+	for _, f := range i.Facts() {
+		idx.add(f)
+	}
+	return idx
+}
+
+func (idx *relIndex) add(f fact.Fact) {
+	idx.byRel[f.Rel()] = append(idx.byRel[f.Rel()], f)
+	for p := 0; p < f.Arity(); p++ {
+		k := argKey{f.Rel(), p, f.Arg(p)}
+		idx.byArg[k] = append(idx.byArg[k], f)
+	}
+}
+
+// candidates returns the facts that can possibly match the atom under
+// the current bindings: the narrowest per-argument index over all bound
+// positions, or the full relation when no argument is bound yet. An
+// empty probe short-circuits — no narrower candidate set exists.
+func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
+	best := idx.byRel[a.Rel]
+	found := false
+	for p, t := range a.Args {
+		var v fact.Value
+		if t.IsVar() {
+			bound, ok := b[t.Var]
+			if !ok {
+				continue
+			}
+			v = bound
+		} else {
+			v = t.Const
+		}
+		cand := idx.byArg[argKey{a.Rel, p, v}]
+		if len(cand) == 0 {
+			return nil
+		}
+		if !found || len(cand) < len(best) {
+			best = cand
+			found = true
+		}
+	}
+	return best
+}
+
+// IndexedInstance couples an instance with its join index, maintained
+// incrementally: adding a fact updates both in O(arity). Build one with
+// IndexInstance and reuse it across fixpoint rounds and strata instead
+// of re-indexing per call.
+//
+// The instance must only grow through Add while indexed; mutating the
+// underlying instance directly desynchronizes the index. Reads of an
+// IndexedInstance are safe from multiple goroutines as long as no Add
+// is concurrent (the parallel engine adds only at round barriers).
+type IndexedInstance struct {
+	data *fact.Instance
+	idx  *relIndex
+}
+
+// IndexInstance builds the index over the instance. The instance is
+// NOT copied: the IndexedInstance takes ownership, and the caller must
+// only grow it through Add.
+func IndexInstance(i *fact.Instance) *IndexedInstance {
+	return &IndexedInstance{data: i, idx: indexInstance(i)}
+}
+
+// Add inserts the fact into the instance and the index, reporting
+// whether it was newly added.
+func (x *IndexedInstance) Add(f fact.Fact) bool {
+	if !x.data.Add(f) {
+		return false
+	}
+	x.idx.add(f)
+	return true
+}
+
+// Has reports whether the fact is present.
+func (x *IndexedInstance) Has(f fact.Fact) bool { return x.data.Has(f) }
+
+// Len returns the number of facts.
+func (x *IndexedInstance) Len() int { return x.data.Len() }
+
+// Instance returns the underlying instance. Callers must not mutate it
+// except through Add.
+func (x *IndexedInstance) Instance() *fact.Instance { return x.data }
+
+// Valuations enumerates every satisfying valuation of the rule against
+// the indexed instance, like the package-level Valuations but without
+// rebuilding the index. The bindings passed to emit are stable
+// snapshots.
+func (x *IndexedInstance) Valuations(r Rule, emit func(Bindings) error) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return matchRule(r, x.idx, x.data, -1, nil, func(b Bindings) error {
+		snapshot := make(Bindings, len(b))
+		for v, val := range b {
+			snapshot[v] = val
+		}
+		return emit(snapshot)
+	})
+}
+
+// ValuationsParallel enumerates the same valuations as Valuations but
+// partitions the enumeration across workers by pinning the rule's
+// first positive atom to chunks of its relation. The instance must not
+// be mutated while the call runs. emit is invoked sequentially after
+// the workers join, in chunk order, so callers need no
+// synchronization; the full call is deterministic.
+func (x *IndexedInstance) ValuationsParallel(r Rule, workers int, emit func(Bindings) error) error {
+	if workers <= 1 || len(r.Pos) == 0 {
+		return x.Valuations(r, emit)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	chunks := chunkFacts(x.idx.byRel[r.Pos[0].Rel], workers)
+	if len(chunks) <= 1 {
+		return x.Valuations(r, emit)
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	results := make([][]Bindings, len(chunks))
+	errs := make([]error, len(chunks))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				errs[c] = matchRule(r, x.idx, x.data, 0, chunks[c], func(b Bindings) error {
+					snapshot := make(Bindings, len(b))
+					for v, val := range b {
+						snapshot[v] = val
+					}
+					results[c] = append(results[c], snapshot)
+					return nil
+				})
+			}
+		}()
+	}
+	for c := range chunks {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, bs := range results {
+		for _, b := range bs {
+			if err := emit(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

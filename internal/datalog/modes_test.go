@@ -1,0 +1,299 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/generate"
+)
+
+// Differential tests across the three evaluation modes: Naive is the
+// oracle; SemiNaive and Parallel must agree with it exactly, on
+// hand-picked programs and on randomly generated safe programs.
+
+func evalAllModes(t *testing.T, p *Program, in *fact.Instance, maxRounds int) map[string]*fact.Instance {
+	t.Helper()
+	out := make(map[string]*fact.Instance)
+	for _, opts := range []FixpointOptions{
+		{Mode: Naive, MaxRounds: maxRounds},
+		{Mode: SemiNaive, MaxRounds: maxRounds},
+		{Mode: Parallel, MaxRounds: maxRounds, Workers: 4},
+	} {
+		res, err := p.EvalStratified(in, opts)
+		if err != nil {
+			t.Fatalf("%s: %v\nprogram:\n%s\ninput: %v", opts.Mode, err, p, in)
+		}
+		out[opts.Mode.String()] = res
+	}
+	return out
+}
+
+// TestCrossModeRandomPrograms is the cross-mode property test: on
+// randomly generated safe programs (internal/generate) and random
+// inputs, Naive ≡ SemiNaive ≡ Parallel.
+func TestCrossModeRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		src := generate.RandomProgram(rng, 1+rng.Intn(4))
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		if !p.IsStratifiable() {
+			continue
+		}
+		in := generate.RandomGraph(rng, "v", 1+rng.Intn(5), rng.Intn(8))
+		for k := 0; k < rng.Intn(3); k++ {
+			in.Add(fact.New("A", fact.Value(fmt.Sprintf("v%d", rng.Intn(5)))))
+		}
+		res := evalAllModes(t, p, in, 0)
+		if !res["naive"].Equal(res["seminaive"]) || !res["naive"].Equal(res["parallel"]) {
+			t.Fatalf("modes disagree on program:\n%s\ninput: %v\nnaive     = %v\nseminaive = %v\nparallel  = %v",
+				p, in, res["naive"], res["seminaive"], res["parallel"])
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d stratifiable programs checked; generator drifted", checked)
+	}
+}
+
+// TestParallelMatchesSemiNaiveWorkloads pins the agreement on the
+// benchmark workloads at several worker counts.
+func TestParallelMatchesSemiNaiveWorkloads(t *testing.T) {
+	tc := MustParseProgram(tcProgram)
+	inputs := map[string]*fact.Instance{
+		"chain":  generate.Path("v", 24),
+		"cycle":  generate.Cycle("v", 16),
+		"random": generate.RandomGraph(rand.New(rand.NewSource(3)), "v", 12, 40),
+		"empty":  fact.NewInstance(),
+	}
+	for name, in := range inputs {
+		want, err := tc.Fixpoint(in, FixpointOptions{Mode: SemiNaive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			got, err := tc.Fixpoint(in, FixpointOptions{Mode: Parallel, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s workers=%d: parallel=%v want %v", name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelStratifiedNegation exercises the parallel engine across
+// stratum boundaries (negation over a lower stratum).
+func TestParallelStratifiedNegation(t *testing.T) {
+	p := MustParseProgram(`
+		T(x,y) :- E(x,y).
+		T(x,z) :- T(x,y), E(y,z).
+		Adom(x) :- E(x,y).
+		Adom(y) :- E(x,y).
+		O(x,y) :- Adom(x), Adom(y), !T(x,y).
+	`)
+	in := generate.Path("v", 8)
+	res := evalAllModes(t, p, in, 0)
+	if !res["naive"].Equal(res["parallel"]) || !res["naive"].Equal(res["seminaive"]) {
+		t.Fatalf("stratified negation disagreement:\nnaive    = %v\nparallel = %v", res["naive"], res["parallel"])
+	}
+}
+
+// TestMaxRoundsBoundary: MaxRounds bounds *productive* TP rounds, and
+// all three modes must enforce the bound identically. TC of a chain
+// with n edges needs exactly n productive rounds (round k derives the
+// paths of length k).
+func TestMaxRoundsBoundary(t *testing.T) {
+	p := MustParseProgram(tcProgram)
+	const edges = 4 // needs exactly 4 productive rounds
+	in := generate.Path("v", edges)
+	for _, opts := range []FixpointOptions{
+		{Mode: Naive},
+		{Mode: SemiNaive},
+		{Mode: Parallel, Workers: 4},
+	} {
+		exact := opts
+		exact.MaxRounds = edges
+		if _, err := p.Fixpoint(in, exact); err != nil {
+			t.Errorf("%s: MaxRounds=%d should accept a %d-round fixpoint: %v", opts.Mode, edges, edges, err)
+		}
+		tooFew := opts
+		tooFew.MaxRounds = edges - 1
+		if _, err := p.Fixpoint(in, tooFew); err == nil {
+			t.Errorf("%s: MaxRounds=%d should reject a %d-round fixpoint", opts.Mode, edges-1, edges)
+		}
+	}
+}
+
+// A program that derives nothing converges in zero productive rounds
+// and must pass under any positive bound — and even MaxRounds=1.
+func TestMaxRoundsUnproductiveProgram(t *testing.T) {
+	p := MustParseProgram(`O(x) :- E(x,x).`)
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`) // no self-loop: nothing derived
+	for _, mode := range []EvalMode{Naive, SemiNaive, Parallel} {
+		if _, err := p.Fixpoint(in, FixpointOptions{Mode: mode, MaxRounds: 1}); err != nil {
+			t.Errorf("%s: unproductive program rejected at MaxRounds=1: %v", mode, err)
+		}
+	}
+}
+
+// A single-productive-round program must pass at MaxRounds=1 in every
+// mode — this is the boundary the old loops disagreed on (the
+// confirming pass counted against the bound).
+func TestMaxRoundsSingleRound(t *testing.T) {
+	p := MustParseProgram(`O(x,y) :- E(x,y).`)
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	for _, mode := range []EvalMode{Naive, SemiNaive, Parallel} {
+		out, err := p.Fixpoint(in, FixpointOptions{Mode: mode, MaxRounds: 1})
+		if err != nil {
+			t.Errorf("%s: single-round program rejected at MaxRounds=1: %v", mode, err)
+			continue
+		}
+		if !out.Has(fact.MustParseFact("O(a,b)")) {
+			t.Errorf("%s: output missing: %v", mode, out)
+		}
+	}
+}
+
+func TestEvalModeStringParse(t *testing.T) {
+	for _, m := range []EvalMode{SemiNaive, Naive, Parallel} {
+		got, err := ParseEvalMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseEvalMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseEvalMode("bogus"); err == nil {
+		t.Error("ParseEvalMode accepted bogus mode")
+	}
+}
+
+// --- relIndex.candidates unit tests (multi-bound atoms) ---
+
+func mustRule(t *testing.T, src string) Rule {
+	t.Helper()
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCandidatesPicksNarrowestBoundPosition(t *testing.T) {
+	idx := indexInstance(fact.MustParseInstance(`E(a,b) E(a,c) E(a,d) E(b,d)`))
+	atom := mustRule(t, `O(x,y) :- E(x,y).`).Pos[0]
+
+	// Nothing bound: the full relation.
+	if got := idx.candidates(atom, Bindings{}); len(got) != 4 {
+		t.Errorf("unbound candidates = %d facts, want 4", len(got))
+	}
+	// x=a narrows to 3.
+	if got := idx.candidates(atom, Bindings{"x": "a"}); len(got) != 3 {
+		t.Errorf("x=a candidates = %d facts, want 3", len(got))
+	}
+	// Both bound: the narrowest position wins (y=d has 2 < x=a's 3).
+	if got := idx.candidates(atom, Bindings{"x": "a", "y": "d"}); len(got) != 2 {
+		t.Errorf("x=a,y=d candidates = %d facts, want 2 (narrowest position)", len(got))
+	}
+	// Reversed binding order must not matter: y=d first, x=b second
+	// (x=b has 1 < y=d's 2).
+	if got := idx.candidates(atom, Bindings{"y": "d", "x": "b"}); len(got) != 1 {
+		t.Errorf("y=d,x=b candidates = %d facts, want 1", len(got))
+	}
+}
+
+func TestCandidatesEmptyProbeShortCircuits(t *testing.T) {
+	idx := indexInstance(fact.MustParseInstance(`E(a,b) E(a,c)`))
+	atom := mustRule(t, `O(x,y) :- E(x,y).`).Pos[0]
+
+	// A bound value absent from a position proves no fact can match,
+	// even if a later position has many candidates.
+	if got := idx.candidates(atom, Bindings{"x": "zzz", "y": "b"}); len(got) != 0 {
+		t.Errorf("absent x: candidates = %d facts, want 0", len(got))
+	}
+	if got := idx.candidates(atom, Bindings{"x": "a", "y": "zzz"}); len(got) != 0 {
+		t.Errorf("absent y: candidates = %d facts, want 0", len(got))
+	}
+}
+
+func TestCandidatesConstantArgs(t *testing.T) {
+	idx := indexInstance(fact.MustParseInstance(`E(a,b) E(b,b) E(c,a)`))
+	atom := mustRule(t, `O(x) :- E(x,"b").`).Pos[0]
+	if got := idx.candidates(atom, Bindings{}); len(got) != 2 {
+		t.Errorf("constant-arg candidates = %d facts, want 2", len(got))
+	}
+	atom = mustRule(t, `O(x) :- E(x,"nope").`).Pos[0]
+	if got := idx.candidates(atom, Bindings{}); len(got) != 0 {
+		t.Errorf("absent-constant candidates = %d facts, want 0", len(got))
+	}
+}
+
+// The narrowest-index selection must never lose answers: a rule with a
+// multi-bound atom (both variables bound by an earlier atom) derives
+// exactly what naive enumeration derives. Guards against candidate
+// short-circuiting dropping facts.
+func TestMultiBoundAtomJoinComplete(t *testing.T) {
+	p := MustParseProgram(`O(x,y) :- E(x,y), F(x,y).`)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		in := fact.NewInstance()
+		for k := 0; k < 10; k++ {
+			a := fact.Value(fmt.Sprintf("v%d", rng.Intn(4)))
+			b := fact.Value(fmt.Sprintf("v%d", rng.Intn(4)))
+			if rng.Intn(2) == 0 {
+				in.Add(fact.New("E", a, b))
+			} else {
+				in.Add(fact.New("F", a, b))
+			}
+		}
+		res := evalAllModes(t, p, in, 0)
+		if !res["naive"].Equal(res["seminaive"]) || !res["naive"].Equal(res["parallel"]) {
+			t.Fatalf("multi-bound join disagreement on %v", in)
+		}
+	}
+}
+
+// --- IndexedInstance ---
+
+func TestIndexedInstanceIncrementalAdd(t *testing.T) {
+	in := fact.MustParseInstance(`E(a,b)`)
+	x := IndexInstance(in)
+	if !x.Add(fact.MustParseFact("E(b,c)")) {
+		t.Fatal("Add of new fact returned false")
+	}
+	if x.Add(fact.MustParseFact("E(b,c)")) {
+		t.Fatal("duplicate Add returned true")
+	}
+	// The incrementally extended index must agree with a fresh one.
+	atom := mustRule(t, `O(x,y) :- E(x,y).`).Pos[0]
+	fresh := indexInstance(x.Instance())
+	for _, b := range []Bindings{{}, {"x": "b"}, {"y": "c"}} {
+		if len(x.idx.candidates(atom, b)) != len(fresh.candidates(atom, b)) {
+			t.Errorf("incremental index diverged from fresh index under %v", b)
+		}
+	}
+}
+
+func TestIndexedValuationsMatchPackageValuations(t *testing.T) {
+	r := mustRule(t, `P(x,z) :- E(x,y), E(y,z), !E(z,x).`)
+	in := generate.RandomGraph(rand.New(rand.NewSource(5)), "v", 8, 30)
+	count := func(enum func(func(Bindings) error) error) int {
+		n := 0
+		if err := enum(func(Bindings) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	plain := count(func(emit func(Bindings) error) error { return Valuations(r, in, emit) })
+	x := IndexInstance(in)
+	indexed := count(func(emit func(Bindings) error) error { return x.Valuations(r, emit) })
+	par := count(func(emit func(Bindings) error) error { return x.ValuationsParallel(r, 4, emit) })
+	if plain != indexed || plain != par {
+		t.Fatalf("valuation counts diverge: plain=%d indexed=%d parallel=%d", plain, indexed, par)
+	}
+}

@@ -1,0 +1,171 @@
+package datalog
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fact"
+)
+
+// This file implements the parallel round executor of the semi-naive
+// fixpoint: each round's (rule, pinned-atom, fact-chunk) join tasks
+// are fanned across a worker pool. Workers read the shared
+// IndexedInstance (frozen for the duration of a round) and derive into
+// private buffers; the buffers are merged into the next delta at the
+// round barrier, on a single goroutine. Rule evaluation is a pure
+// function of (rule, index, instance, chunk), and derived facts carry
+// set semantics, so the merged result is independent of scheduling —
+// Parallel mode is deterministic and agrees with SemiNaive exactly.
+//
+// The design follows the coordination-free evaluation direction of
+// Interlandi & Tanca ("A Datalog-based Computational Model for
+// Coordination-free, Data-Parallel Systems"): semi-naive deltas
+// partition freely across evaluators as long as every evaluator sees
+// the full instance for the non-pinned atoms.
+
+// ruleTask is one unit of parallel work: evaluate rule with the
+// positive atom at index pin ranging over pinFacts (pin = -1 means a
+// full evaluation, used by single-task rules in the opening pass).
+type ruleTask struct {
+	rule     Rule
+	pin      int
+	pinFacts []fact.Fact
+}
+
+// chunkTarget is how many chunks each pinned fact list is split into
+// per worker — small enough to amortize task overhead, large enough to
+// balance skewed rules across the pool.
+const chunkTarget = 4
+
+// chunkFacts splits facts into at most workers*chunkTarget contiguous
+// chunks of near-equal size.
+func chunkFacts(facts []fact.Fact, workers int) [][]fact.Fact {
+	if len(facts) == 0 {
+		return nil
+	}
+	n := workers * chunkTarget
+	if n > len(facts) {
+		n = len(facts)
+	}
+	size := (len(facts) + n - 1) / n
+	chunks := make([][]fact.Fact, 0, n)
+	for start := 0; start < len(facts); start += size {
+		end := start + size
+		if end > len(facts) {
+			end = len(facts)
+		}
+		chunks = append(chunks, facts[start:end])
+	}
+	return chunks
+}
+
+// fullPassTasks builds the opening-round tasks: every rule evaluated
+// against the full instance. With workers > 1 each rule with a
+// positive body is partitioned by pinning its first atom to chunks of
+// that atom's relation; rules with empty positive bodies evaluate as a
+// single unpinned task.
+func fullPassTasks(rules []Rule, x *IndexedInstance, workers int) []ruleTask {
+	tasks := make([]ruleTask, 0, len(rules))
+	for _, r := range rules {
+		if workers <= 1 || len(r.Pos) == 0 {
+			tasks = append(tasks, ruleTask{rule: r, pin: -1})
+			continue
+		}
+		for _, chunk := range chunkFacts(x.idx.byRel[r.Pos[0].Rel], workers) {
+			tasks = append(tasks, ruleTask{rule: r, pin: 0, pinFacts: chunk})
+		}
+	}
+	return tasks
+}
+
+// deltaTasks builds a semi-naive round's tasks: for every rule and
+// every positive atom whose relation gained facts last round, the atom
+// is pinned to the delta (chunked across the pool when parallel).
+func deltaTasks(rules []Rule, deltaByRel map[string][]fact.Fact, workers int) []ruleTask {
+	var tasks []ruleTask
+	for _, r := range rules {
+		for k := range r.Pos {
+			dfacts := deltaByRel[r.Pos[k].Rel]
+			if len(dfacts) == 0 {
+				continue
+			}
+			if workers <= 1 {
+				tasks = append(tasks, ruleTask{rule: r, pin: k, pinFacts: dfacts})
+				continue
+			}
+			for _, chunk := range chunkFacts(dfacts, workers) {
+				tasks = append(tasks, ruleTask{rule: r, pin: k, pinFacts: chunk})
+			}
+		}
+	}
+	return tasks
+}
+
+// runRound evaluates one round's tasks against the frozen x and
+// returns the newly derived facts (those not already in x). With
+// workers <= 1 the tasks run inline; otherwise they are distributed
+// over a pool and the per-worker buffers are merged at the barrier.
+func runRound(tasks []ruleTask, x *IndexedInstance, workers int) (*fact.Instance, error) {
+	derived := fact.NewInstance()
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			err := evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, func(h fact.Fact) error {
+				if !x.Has(h) {
+					derived.Add(h)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return derived, nil
+	}
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan ruleTask)
+	bufs := make([]*fact.Instance, workers)
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := fact.NewInstance()
+			bufs[w] = buf
+			for t := range taskCh {
+				if failed.Load() {
+					continue // drain remaining tasks after a failure
+				}
+				err := evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, func(h fact.Fact) error {
+					if !x.Has(h) {
+						buf.Add(h)
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, buf := range bufs {
+		derived.AddAll(buf)
+	}
+	return derived, nil
+}

@@ -150,14 +150,15 @@ func (p *Program) EvalStratified(input *fact.Instance, opts FixpointOptions) (*f
 	if err != nil {
 		return nil, err
 	}
-	current := input.Clone()
+	// One IndexedInstance accumulates across all strata: each stratum's
+	// fixpoint extends the same index instead of re-indexing its input.
+	x := IndexInstance(input.Clone())
 	for _, stratum := range p.Strata(rho) {
-		current, err = fixpointUnchecked(stratum, current, opts)
-		if err != nil {
+		if err := evalStratum(stratum, x, opts); err != nil {
 			return nil, err
 		}
 	}
-	return current, nil
+	return x.Instance(), nil
 }
 
 // Eval computes P(I) with default options (semi-naive evaluation),

@@ -169,14 +169,13 @@ func TestStratificationIndependence(t *testing.T) {
 	if err := p.CheckStratification(padded); err != nil {
 		t.Fatalf("padded stratification invalid: %v", err)
 	}
-	current := in.Clone()
+	x := IndexInstance(in.Clone())
 	for _, stratum := range p.Strata(padded) {
-		var err error
-		current, err = fixpointUnchecked(stratum, current, FixpointOptions{})
-		if err != nil {
+		if err := evalStratum(stratum, x, FixpointOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
+	current := x.Instance()
 	if !current.Equal(out1) {
 		t.Errorf("stratification-dependent output:\ncanonical %v\npadded    %v", out1, current)
 	}

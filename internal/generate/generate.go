@@ -9,6 +9,7 @@ package generate
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/fact"
 )
@@ -192,6 +193,79 @@ func AllGraphs(values []fact.Value, visit func(*fact.Instance) bool) {
 			return
 		}
 	}
+}
+
+// RandomProgram returns the source text of a random safe Datalog¬
+// program with the given number of rules, for cross-mode differential
+// testing of the fixpoint engines. The program is safe by
+// construction — every head, negated and inequality variable occurs in
+// the positive body — and draws from a fixed schema: edb relations
+// E/2 and A/1 (so instances from RandomGraph plus unary A facts are
+// valid inputs) and idb relations P0/1, P1/2, P2/2, P3/1. Recursion
+// through positive atoms and negation are both generated, so the
+// result is not always stratifiable; callers that need stratified
+// programs must filter.
+func RandomProgram(rng *rand.Rand, numRules int) string {
+	type relSig struct {
+		name  string
+		arity int
+	}
+	edb := []relSig{{"E", 2}, {"A", 1}}
+	idb := []relSig{{"P0", 1}, {"P1", 2}, {"P2", 2}, {"P3", 1}}
+	body := append(append([]relSig{}, edb...), idb...)
+	vars := []string{"x", "y", "z", "w"}
+
+	var b strings.Builder
+	for r := 0; r < numRules; r++ {
+		head := idb[rng.Intn(len(idb))]
+
+		// Positive body: 1-3 atoms over random relations and variables.
+		nPos := 1 + rng.Intn(3)
+		var posVars []string
+		seen := map[string]bool{}
+		atoms := make([]string, 0, nPos)
+		for i := 0; i < nPos; i++ {
+			rel := body[rng.Intn(len(body))]
+			args := make([]string, rel.arity)
+			for j := range args {
+				v := vars[rng.Intn(len(vars))]
+				args[j] = v
+				if !seen[v] {
+					seen[v] = true
+					posVars = append(posVars, v)
+				}
+			}
+			atoms = append(atoms, rel.name+"("+strings.Join(args, ",")+")")
+		}
+
+		// Head arguments come from the positive variables (safety).
+		headArgs := make([]string, head.arity)
+		for j := range headArgs {
+			headArgs[j] = posVars[rng.Intn(len(posVars))]
+		}
+
+		// Optional negated atom over positive variables.
+		if rng.Intn(3) == 0 {
+			rel := body[rng.Intn(len(body))]
+			args := make([]string, rel.arity)
+			for j := range args {
+				args[j] = posVars[rng.Intn(len(posVars))]
+			}
+			atoms = append(atoms, "!"+rel.name+"("+strings.Join(args, ",")+")")
+		}
+
+		// Optional inequality between two positive variables.
+		if len(posVars) >= 2 && rng.Intn(3) == 0 {
+			a := posVars[rng.Intn(len(posVars))]
+			c := posVars[rng.Intn(len(posVars))]
+			if a != c {
+				atoms = append(atoms, a+" != "+c)
+			}
+		}
+
+		fmt.Fprintf(&b, "%s(%s) :- %s.\n", head.name, strings.Join(headArgs, ","), strings.Join(atoms, ", "))
+	}
+	return b.String()
 }
 
 // Subsets enumerates every subinstance of I, invoking visit for each;

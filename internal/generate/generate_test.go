@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/datalog"
 	"repro/internal/fact"
 )
 
@@ -162,5 +163,30 @@ func TestSubsets(t *testing.T) {
 	})
 	if count != 8 || len(seen) != 8 {
 		t.Errorf("Subsets visited %d (%d unique), want 8", count, len(seen))
+	}
+}
+
+// Every generated random program must parse and validate (safety is by
+// construction), and a healthy fraction must be stratifiable so the
+// cross-mode differential tests have material to work with.
+func TestRandomProgramAlwaysSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	stratifiable := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		src := RandomProgram(rng, 1+rng.Intn(5))
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated program unsafe: %v\n%s", err, src)
+		}
+		if p.IsStratifiable() {
+			stratifiable++
+		}
+	}
+	if stratifiable < trials/2 {
+		t.Errorf("only %d/%d generated programs stratifiable", stratifiable, trials)
 	}
 }

@@ -25,6 +25,11 @@ type Options struct {
 	// MaxFacts caps the size of the accumulated instance. Zero means
 	// DefaultMaxFacts.
 	MaxFacts int
+	// Workers fans each round's valuation enumeration across a worker
+	// pool; 0 or 1 evaluates sequentially. Skolem invention is a
+	// deterministic function of the valuation, so the output is
+	// identical at any worker count.
+	Workers int
 }
 
 // Default evaluation bounds.
@@ -158,21 +163,22 @@ func (p *Program) Eval(input *fact.Instance, opts Options) (*fact.Instance, erro
 	if err != nil {
 		return nil, err
 	}
-	current := input.Clone()
+	// One incrementally-maintained index is shared by every round of
+	// every stratum; rebuilding it per valuation call made the
+	// evaluator quadratic in the number of rounds.
+	x := datalog.IndexInstance(input.Clone())
 	for _, stratum := range p.strata(rho) {
-		current, err = fixpoint(stratum, current, opts)
-		if err != nil {
+		if err := fixpoint(stratum, x, opts); err != nil {
 			return nil, err
 		}
 	}
-	return current, nil
+	return x.Instance(), nil
 }
 
-func fixpoint(rules []Rule, input *fact.Instance, opts Options) (*fact.Instance, error) {
-	full := input.Clone()
+func fixpoint(rules []Rule, x *datalog.IndexedInstance, opts Options) error {
 	for round := 0; ; round++ {
 		if round >= opts.rounds() {
-			return nil, ErrDiverged
+			return ErrDiverged
 		}
 		var derived []fact.Fact
 		for _, r := range rules {
@@ -183,31 +189,37 @@ func fixpoint(rules []Rule, input *fact.Instance, opts Options) (*fact.Instance,
 				d.Head = r.Pos[0]
 			}
 			rr := r
-			err := datalog.Valuations(d, full, func(b datalog.Bindings) error {
+			collect := func(b datalog.Bindings) error {
 				h, err := deriveHead(rr, b)
 				if err != nil {
 					return err
 				}
-				if !full.Has(h) {
+				if !x.Has(h) {
 					derived = append(derived, h)
 				}
 				return nil
-			})
+			}
+			var err error
+			if opts.Workers > 1 {
+				err = x.ValuationsParallel(d, opts.Workers, collect)
+			} else {
+				err = x.Valuations(d, collect)
+			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		changed := false
 		for _, h := range derived {
-			if full.Add(h) {
+			if x.Add(h) {
 				changed = true
 			}
 		}
-		if full.Len() > opts.facts() {
-			return nil, ErrDiverged
+		if x.Len() > opts.facts() {
+			return ErrDiverged
 		}
 		if !changed {
-			return full, nil
+			return nil
 		}
 	}
 }

@@ -30,7 +30,9 @@ type WFSResult struct {
 // plus all derived facts. Γ is antimonotone in assumed, which drives
 // the alternating fixpoint.
 func gamma(p *datalog.Program, input, assumed *fact.Instance) (*fact.Instance, error) {
-	full := input.Clone()
+	// The index over the accumulated facts persists across rounds;
+	// Valuations would rebuild it per rule per round.
+	x := datalog.IndexInstance(input.Clone())
 	for {
 		var derived []fact.Fact
 		for _, r := range p.Rules {
@@ -38,7 +40,7 @@ func gamma(p *datalog.Program, input, assumed *fact.Instance) (*fact.Instance, e
 			// negation against `assumed` manually.
 			stripped := datalog.Rule{Head: r.Head, Pos: r.Pos, Ineq: r.Ineq}
 			negAtoms := r.Neg
-			err := datalog.Valuations(stripped, full, func(b datalog.Bindings) error {
+			err := x.Valuations(stripped, func(b datalog.Bindings) error {
 				for _, a := range negAtoms {
 					g, err := groundAtomWith(a, b)
 					if err != nil {
@@ -52,7 +54,7 @@ func gamma(p *datalog.Program, input, assumed *fact.Instance) (*fact.Instance, e
 				if err != nil {
 					return err
 				}
-				if !full.Has(h) {
+				if !x.Has(h) {
 					derived = append(derived, h)
 				}
 				return nil
@@ -63,12 +65,12 @@ func gamma(p *datalog.Program, input, assumed *fact.Instance) (*fact.Instance, e
 		}
 		changed := false
 		for _, h := range derived {
-			if full.Add(h) {
+			if x.Add(h) {
 				changed = true
 			}
 		}
 		if !changed {
-			return full, nil
+			return x.Instance(), nil
 		}
 	}
 }

@@ -22,6 +22,13 @@ import (
 // The program's idb relations are scratch space: they must not collide
 // with any schema relation visible in D.
 func DatalogQuery(p *datalog.Program, target fact.Schema, rename map[string]string) (Query, error) {
+	return DatalogQueryOpts(p, target, rename, datalog.FixpointOptions{})
+}
+
+// DatalogQueryOpts is DatalogQuery with explicit fixpoint options, so
+// every local transducer step can run under any evaluation mode
+// (naive, semi-naive or parallel).
+func DatalogQueryOpts(p *datalog.Program, target fact.Schema, rename map[string]string, opts datalog.FixpointOptions) (Query, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,7 +59,7 @@ func DatalogQuery(p *datalog.Program, target fact.Schema, rename map[string]stri
 			}
 			return true
 		})
-		full, err := p.EvalStratified(edb, datalog.FixpointOptions{})
+		full, err := p.EvalStratified(edb, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -81,6 +88,12 @@ func MustDatalogQuery(p *datalog.Program, target fact.Schema, rename map[string]
 // for out, Mem for ins and del, Msg for snd) provide that query's
 // result.
 func DatalogTransducer(schema Schema, outSrc, insSrc, delSrc, sndSrc string) (*Transducer, error) {
+	return DatalogTransducerOpts(schema, outSrc, insSrc, delSrc, sndSrc, datalog.FixpointOptions{})
+}
+
+// DatalogTransducerOpts is DatalogTransducer with explicit fixpoint
+// options applied to all four component queries.
+func DatalogTransducerOpts(schema Schema, outSrc, insSrc, delSrc, sndSrc string, opts datalog.FixpointOptions) (*Transducer, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,7 +105,7 @@ func DatalogTransducer(schema Schema, outSrc, insSrc, delSrc, sndSrc string) (*T
 		if err != nil {
 			return nil, fmt.Errorf("transducer: %s program: %w", what, err)
 		}
-		q, err := DatalogQuery(p, target, nil)
+		q, err := DatalogQueryOpts(p, target, nil, opts)
 		if err != nil {
 			return nil, fmt.Errorf("transducer: %s program: %w", what, err)
 		}

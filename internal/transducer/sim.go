@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"repro/internal/fact"
 )
@@ -36,6 +37,20 @@ func (m *multiset) size() int {
 
 func (m *multiset) empty() bool { return len(m.counts) == 0 }
 
+// sortedKeys returns the buffer's fact keys in sorted order. Every
+// iteration that consumes randomness (or feeds observable output) must
+// walk the buffer in this order: ranging over the Go map directly
+// would let map-iteration order decide which fact each coin flip
+// applies to, breaking same-seed reproducibility.
+func (m *multiset) sortedKeys() []string {
+	keys := make([]string, 0, len(m.facts))
+	for k := range m.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // takeAll removes and returns the whole buffer collapsed to a set,
 // plus the number of message instances delivered.
 func (m *multiset) takeAll() (*fact.Instance, int) {
@@ -51,11 +66,14 @@ func (m *multiset) takeAll() (*fact.Instance, int) {
 }
 
 // takeRandom removes a random submultiset (each copy kept or delivered
-// with probability 1/2) and returns the delivered facts as a set.
+// with probability 1/2) and returns the delivered facts as a set. The
+// buffer is consumed in sorted key order so that the rng draws are
+// reproducible across runs.
 func (m *multiset) takeRandom(rng *rand.Rand) (*fact.Instance, int) {
 	out := fact.NewInstance()
 	delivered := 0
-	for k, f := range m.facts {
+	for _, k := range m.sortedKeys() {
+		f := m.facts[k]
 		c := m.counts[k]
 		take := 0
 		for n := 0; n < c; n++ {
@@ -318,9 +336,12 @@ func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err e
 		if m.Empty() {
 			kind = "heartbeat"
 		}
-		fmt.Fprintf(s.trace, "[%04d] %-9s at %-4s delivered=%d sent=%d changed=%-5v out=%d\n",
+		// The delivered set is part of the line (sorted rendering) so a
+		// trace is a complete, comparable record of the run: two runs
+		// with the same seed must produce byte-identical traces.
+		fmt.Fprintf(s.trace, "[%04d] %-9s at %-4s delivered=%d sent=%d changed=%-5v out=%d msgs=%s\n",
 			s.Metrics.Transitions, kind, x, m.Len(), snd.Len(), changed,
-			s.state[x].Restrict(t.Schema.Out).Len())
+			s.state[x].Restrict(t.Schema.Out).Len(), m)
 	}
 	return changed, nil
 }
@@ -354,7 +375,10 @@ func (s *Simulation) DeliverWhere(x NodeID, pred func(fact.Fact) bool) (bool, er
 	}
 	b := s.buf[x]
 	m := fact.NewInstance()
-	for k, f := range b.facts {
+	// Sorted order: a stateful pred (e.g. "first n facts") must see a
+	// reproducible sequence.
+	for _, k := range b.sortedKeys() {
+		f := b.facts[k]
 		if !pred(f) {
 			continue
 		}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh runs the full local gate: vet, build, and the test suite
+# under the race detector (the parallel fixpoint engine and the
+# simulation determinism tests are the main race-sensitive surfaces).
+# Usage: scripts/check.sh  (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
