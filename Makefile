@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check cover
+
+cover:
+	$(GO) test -cover ./internal/transducer/ ./internal/core/
 
 build:
 	$(GO) build ./...

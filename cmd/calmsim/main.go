@@ -10,6 +10,9 @@
 //	calmsim -query winmove -strategy domainreq -nodes 3
 //	calmsim -query qtc -strategy domainreq -nodes 4 -input graph.facts
 //	calmsim -query tc -strategy broadcast -policy hash -verify
+//	calmsim -query tc -strategy broadcast -faults "dup=0.3,delay=0.5:4,crash=n2@9"
+//	calmsim -query noloop -strategy absence -faults random -seed 7
+//	calmsim -query qtc -strategy domainreq -seeds 500
 package main
 
 import (
@@ -33,7 +36,10 @@ func main() {
 		nodes     = flag.Int("nodes", 3, "number of network nodes")
 		policy    = flag.String("policy", "", "policy: hash | firstattr | guided | onenode (default: guided for domainreq, hash otherwise)")
 		inputPath = flag.String("input", "", "input instance file (default: a built-in demo instance)")
-		seed      = flag.Int64("seed", 0, "when nonzero, prepend this many random scheduler steps with the given seed")
+		seed      = flag.Int64("seed", 0, "seed for every random choice (random scheduler prefix, -faults random, -seeds sweep base); 0 means no random prefix")
+		steps     = flag.Int("steps", 25, "length of the random scheduler prefix enabled by -seed")
+		faults    = flag.String("faults", "", `fault plan between send and buffer: "random" (seeded via -seed), or a spec like "dup=0.2,delay=0.25:6,stall=n2@3-8,crash=n3@10,part=2-6:n1|n2"`)
+		seeds     = flag.Int("seeds", 0, "when > 0, run the adversarial schedule explorer with this many seeded fault schedules (plus starvation and greedy adversaries)")
 		verify    = flag.Bool("verify", false, "also check the Definition 3 coordination-freeness witness")
 		explore   = flag.Int("explore", 0, "when > 0, exhaustively explore all schedules to this depth and check output safety")
 		trace     = flag.Bool("trace", false, "log every transition of the main run")
@@ -83,14 +89,30 @@ func main() {
 		fatal(err)
 	}
 
+	var plan *transducer.FaultPlan
+	if *faults != "" {
+		if *faults == "random" {
+			plan = transducer.RandomFaultPlan(net, *seed, transducer.DefaultFaultConfig())
+		} else {
+			plan, err = transducer.ParseFaultPlan(*faults, *seed)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	fmt.Printf("query    : %s\n", q.Name())
 	fmt.Printf("strategy : %v (class %v)\n", s, s.Class())
 	fmt.Printf("network  : %v\n", net)
 	fmt.Printf("policy   : %s\n", polName)
+	if plan != nil {
+		fmt.Printf("faults   : %v (seed %d)\n", plan, *seed)
+	}
 	fmt.Printf("input    : %v\n\n", input)
 
-	for x, frag := range transducer.Dist(pol, net, input) {
-		fmt.Printf("fragment at %s: %v\n", x, frag)
+	frags := transducer.Dist(pol, net, input)
+	for _, x := range net {
+		fmt.Printf("fragment at %s: %v\n", x, frags[x])
 	}
 
 	var res *core.Result
@@ -104,15 +126,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		maxRounds := 32 + input.Len() + 4*len(net)
+		if plan != nil {
+			sim.SetFaults(plan)
+			maxRounds += plan.Horizon()
+		}
 		fmt.Println("\ntrace:")
 		sim.TraceTo(os.Stdout)
-		out, err := sim.RunToQuiescence(32 + input.Len() + 4*len(net))
+		out, err := sim.RunToQuiescence(maxRounds)
 		if err != nil {
 			fatal(err)
 		}
 		res = &core.Result{Output: out, Metrics: sim.Metrics}
+	case plan != nil:
+		res, err = core.ComputeFaulty(s, q, net, pol, input, plan, 0)
 	case *seed != 0:
-		res, err = core.ComputeRandom(s, q, net, pol, input, *seed, 25, 0)
+		res, err = core.ComputeRandom(s, q, net, pol, input, *seed, *steps, 0)
 	default:
 		res, err = core.Compute(s, q, net, pol, input, 0)
 	}
@@ -126,6 +155,11 @@ func main() {
 
 	fmt.Printf("\ntransitions: %d (heartbeats %d), messages sent: %d, delivered: %d\n",
 		res.Metrics.Transitions, res.Metrics.Heartbeats, res.Metrics.MessagesSent, res.Metrics.MessagesDelivered)
+	if plan != nil {
+		fmt.Printf("faults: duplicated %d, delayed %d, dropped %d, retransmitted %d, crashes %d, stalled steps %d\n",
+			res.Metrics.MessagesDuplicated, res.Metrics.MessagesDelayed, res.Metrics.MessagesDropped,
+			res.Metrics.MessagesRetransmitted, res.Metrics.Crashes, res.Metrics.StalledSteps)
+	}
 	fmt.Printf("distributed output: %v\n", res.Output)
 	fmt.Printf("central output    : %v\n", want)
 	if res.Output.Equal(want) {
@@ -143,6 +177,23 @@ func main() {
 			fmt.Println("coordination-free: heartbeat-only witness found under the ideal policy")
 		} else {
 			fmt.Println("coordination-freeness witness NOT found")
+		}
+	}
+
+	if *seeds > 0 {
+		opts := transducer.ExploreOptions{Seeds: *seeds, Faults: core.FaultConfigFor(s)}
+		if *seed != 0 {
+			opts.BaseSeed = *seed
+		}
+		v, stats, err := core.ExploreStrategy(s, q, net, pol, input, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if v == nil {
+			fmt.Printf("explore: %d schedules (%d transitions) clean — starvation, greedy adversaries, %d seeded fault plans\n",
+				stats.Schedules, stats.Transitions, *seeds)
+		} else {
+			fmt.Printf("explore: VIOLATION after %d schedules: %v\n", stats.Schedules, v)
 		}
 	}
 

@@ -35,6 +35,7 @@ func main() {
 	exps = append(exps, lemma32Experiments()...)
 	exps = append(exps, figure2FragmentExperiments()...)
 	exps = append(exps, transducerExperiments()...)
+	exps = append(exps, faultExperiments()...)
 
 	fmt.Println("Reproduction matrix — Ameloot, Ketsman, Neven, Zinn: \"Weaker Forms of Monotonicity\" (PODS 2014)")
 	fmt.Println()
@@ -447,6 +448,88 @@ func transducerExperiments() []experiment {
 				}
 			}
 			return "doubled(win-move) ∈ con-Datalog¬, agrees with direct WFS (20 samples)", true
+		}},
+	}
+}
+
+// faultExperiments stress-tests the Figure 2 equalities against
+// adversarial delivery: every theorem is quantified over all fair
+// runs, so each strategy must survive starvation schedules, greedy
+// fresh-value adversaries, and ≥ 1000 seeded fault plans (duplication,
+// delay, partitions, stalls, crash-restart) on a query inside its
+// class — while the same explorer, pointed one class up, rediscovers
+// the known wrong-fact divergences automatically.
+func faultExperiments() []experiment {
+	net := transducer.MustNetwork("n1", "n2", "n3")
+	graph := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a) E(d,d) E(d,e)`)
+	cycle := fact.MustParseInstance(`E(a,b) E(b,x) E(x,a)`)
+	twoTriangles := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a) E(x,y) E(y,z) E(z,x)`)
+	hash := transducer.HashPolicy(net)
+	guided := transducer.DomainGuided(transducer.HashAssignment(net))
+
+	clean := func(s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance, seeds int) (string, bool) {
+		v, stats, err := core.ExploreStrategy(s, q, net, pol, in, transducer.ExploreOptions{
+			Seeds:  seeds,
+			Faults: core.FaultConfigFor(s),
+		})
+		if err != nil {
+			return err.Error(), false
+		}
+		if v != nil {
+			return fmt.Sprintf("unexpected violation: %v", v), false
+		}
+		return fmt.Sprintf("%d schedules clean (%d seeded fault plans, %d transitions)",
+			stats.Schedules, seeds, stats.Transitions), true
+	}
+	rediscover := func(s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance) (string, bool) {
+		v, stats, err := core.ExploreStrategy(s, q, net, pol, in, transducer.ExploreOptions{
+			Seeds:  100,
+			Faults: core.FaultConfigFor(s),
+		})
+		if err != nil {
+			return err.Error(), false
+		}
+		if v == nil {
+			return fmt.Sprintf("divergence NOT rediscovered in %d schedules", stats.Schedules), false
+		}
+		return fmt.Sprintf("%v: %v after %d schedules", v.Kind, v.Bad, stats.Schedules), true
+	}
+
+	return []experiment{
+		{"X1", "fairness stress: broadcast/TC clean on 1000 fault plans", func() (string, bool) {
+			return clean(core.Broadcast, queries.TC(), hash, graph, 1000)
+		}},
+		{"X2", "fairness stress: absence/NoLoop clean on 1000 fault plans", func() (string, bool) {
+			return clean(core.Absence, queries.NoLoop(), hash, graph, 1000)
+		}},
+		{"X3", "fairness stress: domainreq/QTC clean on 1000 fault plans", func() (string, bool) {
+			return clean(core.DomainRequest, queries.ComplementTC(), guided, graph, 1000)
+		}},
+		{"X4", "explorer rediscovers broadcast ∉ F1 (NoLoop wrong fact)", func() (string, bool) {
+			return rediscover(core.Broadcast, queries.NoLoop(), hash, graph)
+		}},
+		{"X5", "explorer rediscovers absence ∉ F2 (QTC wrong fact)", func() (string, bool) {
+			return rediscover(core.Absence, queries.ComplementTC(), hash, cycle)
+		}},
+		{"X6", "explorer rediscovers domainreq ∉ C-free (triangles)", func() (string, bool) {
+			return rediscover(core.DomainRequest, queries.TrianglesUnlessTwoDisjoint(), guided, twoTriangles)
+		}},
+		{"X7", "crash-restart falsifies domainreq's Xok certificates", func() (string, bool) {
+			// Unlike X3, hand the explorer crashy plans: the Xok message
+			// asserts requester *state* ("all facts of this value are
+			// stored"), which a restart wipes while the recovery
+			// rebroadcast re-delivers the stale certificate. Broadcast
+			// and absence messages state global truths about the input,
+			// so X1/X2 survive the same crash mix.
+			v, stats, err := core.ExploreStrategy(core.DomainRequest, queries.ComplementTC(), net, guided, graph,
+				transducer.ExploreOptions{Seeds: 1000, Faults: transducer.DefaultFaultConfig()})
+			if err != nil {
+				return err.Error(), false
+			}
+			if v == nil {
+				return fmt.Sprintf("crash divergence NOT found in %d schedules", stats.Schedules), false
+			}
+			return fmt.Sprintf("%v: %v under %s", v.Kind, v.Bad, v.Schedule), true
 		}},
 	}
 }

@@ -60,6 +60,72 @@ func ComputeRandom(s Strategy, q monotone.Query, net transducer.Network, pol tra
 	return &Result{Output: out, Metrics: sim.Metrics}, nil
 }
 
+// ComputeFaulty is Compute with a fault plan installed between send
+// and buffer: messages may be duplicated or delayed, partitions may
+// hold traffic back, and nodes may stall or crash-restart, all
+// deterministically under the plan's seed. The run is still fair
+// (faults are transient), so for a query in the strategy's class the
+// output must equal the centralized answer.
+func ComputeFaulty(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, plan *transducer.FaultPlan, maxRounds int) (*Result, error) {
+	t, err := Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := transducer.NewSimulation(net, t, pol, s.RequiredModel(), input)
+	if err != nil {
+		return nil, err
+	}
+	sim.SetFaults(plan)
+	if maxRounds <= 0 {
+		maxRounds = 32 + input.Len() + 4*len(net) + plan.Horizon()
+	}
+	out, err := sim.RunToQuiescence(maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Metrics: sim.Metrics}, nil
+}
+
+// FaultConfigFor returns the fault mix a strategy is expected to
+// survive on queries inside its class. Broadcast and Absence tolerate
+// the full default mix including crash-restart, because every message
+// they send states a global truth about the input (a fact of I, or
+// the absence of one) that remains valid after any node restarts.
+// DomainRequest is excluded from crash faults: its Xok certificate
+// asserts that the *requester has stored* all facts of a value, a
+// statement about volatile state that a crash-restart falsifies — the
+// recovery rebroadcast re-delivers the stale certificate and the
+// restarted node can output before its data re-arrives. The explorer
+// rediscovers that divergence when handed a crashy plan (see the
+// fault-model section of DESIGN.md and the X-rows of cmd/experiments).
+func FaultConfigFor(s Strategy) transducer.FaultConfig {
+	cfg := transducer.DefaultFaultConfig()
+	if s == DomainRequest {
+		cfg.Crashes = 0
+	}
+	return cfg
+}
+
+// ExploreStrategy fuzzes the strategy against its class boundary: it
+// evaluates the query centrally (the oracle), builds the strategy's
+// transducer, and drives the adversarial schedule explorer — fair
+// baseline, per-node starvation, greedy fresh-value adversaries, and
+// seeded random schedules under fault plans — looking for a run that
+// outputs a wrong fact or converges to the wrong answer. For a query
+// inside the strategy's class every explored schedule must be clean;
+// one class up, the explorer rediscovers the known divergences.
+func ExploreStrategy(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, opts transducer.ExploreOptions) (*transducer.ScheduleViolation, transducer.ExploreStats, error) {
+	want, err := q.Eval(input)
+	if err != nil {
+		return nil, transducer.ExploreStats{}, fmt.Errorf("core: evaluating %s centrally: %w", q.Name(), err)
+	}
+	t, err := Build(s, q)
+	if err != nil {
+		return nil, transducer.ExploreStats{}, err
+	}
+	return transducer.ExploreSchedules(net, t, pol, s.RequiredModel(), input, want, opts)
+}
+
 // VerifyCoordinationFree checks the Definition 3 witness for the
 // strategy and query on one network and input: under the strategy's
 // ideal policy centered at the first network node, a heartbeat-only

@@ -2,6 +2,7 @@ package transducer
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/fact"
 )
@@ -92,4 +93,469 @@ func Explore(net Network, t *Transducer, pol Policy, mod Model, input, allowed *
 		return nil, err
 	}
 	return rec(start, depth)
+}
+
+// ----------------------------------------------------------------------
+// Adversarial schedule exploration.
+//
+// Explore above enumerates every heartbeat/deliver-all schedule, which
+// is exhaustive but shallow. ExploreSchedules goes the other way: it
+// runs a curated family of deep adversarial schedules — per-node
+// starvation until a fairness deadline, greedy adversaries built
+// around fresh active-domain values (the pattern behind the known
+// out-of-class failures of the F2.8–F2.10 strategies), and a sweep of
+// seeded random schedules under random fault plans — checking after
+// every transition that the output stays inside Q(I) and at quiescence
+// that it equals Q(I).
+
+// ViolationKind classifies how a schedule broke "Π computes Q".
+type ViolationKind int
+
+const (
+	// WrongFact: a reachable output contained a fact outside Q(I).
+	WrongFact ViolationKind = iota
+	// Divergence: the run quiesced on an output different from Q(I).
+	Divergence
+	// NoQuiescence: the run did not stabilize within the round bound.
+	NoQuiescence
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case WrongFact:
+		return "wrong-fact"
+	case Divergence:
+		return "divergence"
+	default:
+		return "no-quiescence"
+	}
+}
+
+// ScheduleViolation describes a schedule on which the network failed
+// to compute Q.
+type ScheduleViolation struct {
+	Kind ViolationKind
+	// Schedule identifies the failing schedule (and, for seeded runs,
+	// the fault plan) well enough to replay it.
+	Schedule string
+	// Step is the transition count at which the violation surfaced.
+	Step int
+	// Bad is the offending output fact (WrongFact only).
+	Bad *fact.Fact
+	// Output and Want are the observed and expected network outputs.
+	Output, Want *fact.Instance
+}
+
+// Error renders the violation.
+func (v *ScheduleViolation) Error() string {
+	switch v.Kind {
+	case WrongFact:
+		return fmt.Sprintf("transducer: schedule %s produced out-of-answer fact %v at step %d", v.Schedule, *v.Bad, v.Step)
+	case Divergence:
+		return fmt.Sprintf("transducer: schedule %s quiesced on %v, want %v", v.Schedule, v.Output, v.Want)
+	default:
+		return fmt.Sprintf("transducer: schedule %s did not quiesce (step %d)", v.Schedule, v.Step)
+	}
+}
+
+// ExploreOptions tunes ExploreSchedules.
+type ExploreOptions struct {
+	// Seeds is how many seeded random fault schedules to run
+	// (default 100).
+	Seeds int
+	// BaseSeed is the first seed (default 1); schedule k uses
+	// BaseSeed+k.
+	BaseSeed int64
+	// Faults bounds the fault plans derived for the seeded schedules.
+	// The zero value injects no faults (pure schedule randomization).
+	Faults FaultConfig
+	// MaxRounds bounds each run's fair drive; 0 picks a generous
+	// default (extended by each fault plan's horizon).
+	MaxRounds int
+	// SkipStarvation and SkipAdversary disable the deterministic
+	// schedule families, leaving only the seed sweep.
+	SkipStarvation bool
+	SkipAdversary  bool
+}
+
+// ExploreStats reports how much was explored.
+type ExploreStats struct {
+	// Schedules is the number of complete schedules run.
+	Schedules int
+	// Transitions is the total number of transitions across them.
+	Transitions int
+}
+
+// ExploreSchedules searches the schedule space of (net, t, pol, mod)
+// on input for a violation of "the network computes want": it runs the
+// fair baseline, per-node starvation schedules, the greedy fresh-value
+// adversaries, and opts.Seeds seeded random schedules under derived
+// fault plans, returning the first violation found (nil if every
+// explored schedule converges to want without ever leaving it).
+func ExploreSchedules(net Network, t *Transducer, pol Policy, mod Model, input, want *fact.Instance, opts ExploreOptions) (*ScheduleViolation, ExploreStats, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 100
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 1
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 32 + input.Len() + 4*len(net)
+	}
+	e := &explorer{net: net, t: t, pol: pol, mod: mod, input: input, want: want, opts: opts}
+
+	run := func(f func() (*ScheduleViolation, error)) (*ScheduleViolation, error) {
+		v, err := f()
+		e.stats.Schedules++
+		return v, err
+	}
+
+	// Fair round-robin baseline.
+	if v, err := run(e.fairRun); v != nil || err != nil {
+		return v, e.stats, err
+	}
+	if !opts.SkipStarvation {
+		for _, victim := range net {
+			x := victim
+			if v, err := run(func() (*ScheduleViolation, error) { return e.starveRun(x) }); v != nil || err != nil {
+				return v, e.stats, err
+			}
+		}
+	}
+	if !opts.SkipAdversary {
+		if v, err := run(e.freshFloodRun); v != nil || err != nil {
+			return v, e.stats, err
+		}
+		for _, victim := range net {
+			x := victim
+			if v, err := run(func() (*ScheduleViolation, error) { return e.freshStarveRun(x) }); v != nil || err != nil {
+				return v, e.stats, err
+			}
+		}
+	}
+	for k := 0; k < opts.Seeds; k++ {
+		seed := opts.BaseSeed + int64(k)
+		if v, err := run(func() (*ScheduleViolation, error) { return e.seedRun(seed) }); v != nil || err != nil {
+			return v, e.stats, err
+		}
+	}
+	return nil, e.stats, nil
+}
+
+// explorer carries the fixed exploration context.
+type explorer struct {
+	net   Network
+	t     *Transducer
+	pol   Policy
+	mod   Model
+	input *fact.Instance
+	want  *fact.Instance
+	opts  ExploreOptions
+	stats ExploreStats
+}
+
+func (e *explorer) newRun(label string) (*scheduleRun, error) {
+	sim, err := NewSimulation(e.net, e.t, e.pol, e.mod, e.input)
+	if err != nil {
+		return nil, err
+	}
+	return &scheduleRun{e: e, sim: sim, label: label}, nil
+}
+
+// scheduleRun wraps one simulation with per-step soundness checking.
+type scheduleRun struct {
+	e     *explorer
+	sim   *Simulation
+	label string
+}
+
+// checkSound verifies output ⊆ want after a step.
+func (r *scheduleRun) checkSound() *ScheduleViolation {
+	out := r.sim.Output()
+	var bad *fact.Fact
+	out.Each(func(f fact.Fact) bool {
+		if !r.e.want.Has(f) {
+			g := f
+			bad = &g
+			return false
+		}
+		return true
+	})
+	if bad == nil {
+		return nil
+	}
+	return &ScheduleViolation{
+		Kind:     WrongFact,
+		Schedule: r.label,
+		Step:     r.sim.Metrics.Transitions,
+		Bad:      bad,
+		Output:   out,
+		Want:     r.e.want,
+	}
+}
+
+// finish drives the run fairly to quiescence (still checking every
+// step) and verifies the final output equals want. extraRounds widens
+// the bound for runs whose fault plan has a late horizon.
+func (r *scheduleRun) finish(extraRounds int) (*ScheduleViolation, error) {
+	defer func() { r.e.stats.Transitions += r.sim.Metrics.Transitions }()
+	maxRounds := r.e.opts.MaxRounds + extraRounds
+	for round := 0; round < maxRounds; round++ {
+		anyChanged := false
+		for _, x := range r.e.net {
+			changed, err := r.sim.Deliver(x)
+			if err != nil {
+				return nil, err
+			}
+			if v := r.checkSound(); v != nil {
+				return v, nil
+			}
+			if changed {
+				anyChanged = true
+			}
+		}
+		if !anyChanged && r.sim.TotalBuffered() == 0 && r.sim.TotalHeld() == 0 && r.sim.faultsDone() {
+			out := r.sim.Output()
+			if !out.Equal(r.e.want) {
+				return &ScheduleViolation{
+					Kind:     Divergence,
+					Schedule: r.label,
+					Step:     r.sim.Metrics.Transitions,
+					Output:   out,
+					Want:     r.e.want,
+				}, nil
+			}
+			return nil, nil
+		}
+	}
+	return &ScheduleViolation{
+		Kind:     NoQuiescence,
+		Schedule: r.label,
+		Step:     r.sim.Metrics.Transitions,
+		Output:   r.sim.Output(),
+		Want:     r.e.want,
+	}, nil
+}
+
+// fairRun is the round-robin baseline with per-step checking.
+func (e *explorer) fairRun() (*ScheduleViolation, error) {
+	r, err := e.newRun("fair")
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(0)
+}
+
+// starveRun keeps the victim from taking any transition while the rest
+// of the network runs round-robin to a fixed point — the victim's
+// local facts stay invisible for the whole starvation phase. The
+// fairness deadline then admits the victim and the run must still
+// converge to want.
+func (e *explorer) starveRun(victim NodeID) (*ScheduleViolation, error) {
+	r, err := e.newRun(fmt.Sprintf("starve:%s", victim))
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < e.opts.MaxRounds; round++ {
+		progress := false
+		for _, x := range e.net {
+			if x == victim {
+				continue
+			}
+			changed, err := r.sim.Deliver(x)
+			if err != nil {
+				return nil, err
+			}
+			if v := r.checkSound(); v != nil {
+				return v, nil
+			}
+			if changed {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return r.finish(0)
+}
+
+// knownValues returns the values node x has already seen: its own
+// identifier plus the active domains of its input fragment and state.
+func knownValues(s *Simulation, x NodeID) fact.ValueSet {
+	known := s.local[x].ADom()
+	for v := range s.state[x].ADom() {
+		known.Add(v)
+	}
+	known.Add(x)
+	return known
+}
+
+// freshCount counts the argument values of f that x has not seen yet.
+func freshCount(known fact.ValueSet, f fact.Fact) int {
+	fresh := 0
+	for i := 0; i < f.Arity(); i++ {
+		if _, ok := known[f.Arg(i)]; !ok {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// freshFloodRun is the greedy fresh-value adversary: at every step it
+// delivers exactly ONE buffered fact — the one introducing the most
+// values its recipient has never seen — so each node's active domain
+// expands as far ahead of its data as any schedule allows. This is the
+// single-fact generalization of the race behind premature outputs:
+// a node that learns a value before the facts about it evaluates the
+// query on an inflated, incomplete picture.
+func (e *explorer) freshFloodRun() (*ScheduleViolation, error) {
+	r, err := e.newRun("adv-flood-fresh")
+	if err != nil {
+		return nil, err
+	}
+	budget := e.opts.MaxRounds * len(e.net)
+	for step := 0; step < budget; step++ {
+		bestScore := 0
+		var bestNode NodeID
+		var bestFact fact.Fact
+		for _, x := range e.net {
+			known := knownValues(r.sim, x)
+			b := r.sim.buf[x]
+			for _, k := range b.sortedKeys() {
+				if n := freshCount(known, b.facts[k]); n > bestScore {
+					bestScore, bestNode, bestFact = n, x, b.facts[k]
+				}
+			}
+		}
+		if bestScore == 0 {
+			// No delivery introduces a fresh value; heartbeat everyone
+			// once to let protocols emit, then retry or finish.
+			progress := false
+			for _, x := range e.net {
+				changed, err := r.sim.Heartbeat(x)
+				if err != nil {
+					return nil, err
+				}
+				if v := r.checkSound(); v != nil {
+					return v, nil
+				}
+				if changed {
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+			continue
+		}
+		if _, err := r.sim.DeliverBatch(bestNode, fact.NewInstance(bestFact)); err != nil {
+			return nil, err
+		}
+		if v := r.checkSound(); v != nil {
+			return v, nil
+		}
+	}
+	return r.finish(0)
+}
+
+// freshStarveRun is the dual adversary, aimed at one victim: every
+// other node runs fairly, while the victim is delivered only messages
+// whose values it already knows. Absence announcements, acknowledgments
+// and data over the victim's current domain flow freely; anything
+// mentioning a fresh value is withheld. A strategy that declares its
+// picture of the input complete from such a confined domain emits its
+// wrong facts here — this is the schedule shape behind the known
+// out-of-class divergences of the absence and domain-request
+// strategies. The fairness deadline then delivers everything.
+func (e *explorer) freshStarveRun(victim NodeID) (*ScheduleViolation, error) {
+	r, err := e.newRun(fmt.Sprintf("adv-starve-fresh:%s", victim))
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < e.opts.MaxRounds; round++ {
+		progress := false
+		known := knownValues(r.sim, victim)
+		stale := fact.NewInstance()
+		b := r.sim.buf[victim]
+		for _, k := range b.sortedKeys() {
+			if freshCount(known, b.facts[k]) == 0 {
+				stale.Add(b.facts[k])
+			}
+		}
+		changed, err := r.sim.DeliverBatch(victim, stale)
+		if err != nil {
+			return nil, err
+		}
+		if v := r.checkSound(); v != nil {
+			return v, nil
+		}
+		if changed {
+			progress = true
+		}
+		for _, x := range e.net {
+			if x == victim {
+				continue
+			}
+			changed, err := r.sim.Deliver(x)
+			if err != nil {
+				return nil, err
+			}
+			if v := r.checkSound(); v != nil {
+				return v, nil
+			}
+			if changed {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return r.finish(0)
+}
+
+// seedRun runs one seeded random schedule under a fault plan derived
+// from the same seed: a random prefix mixing heartbeats, full, random
+// and planned-batch deliveries across random nodes, then a fair drive
+// to quiescence. Reproducible from (seed, opts.Faults) alone.
+func (e *explorer) seedRun(seed int64) (*ScheduleViolation, error) {
+	plan := RandomFaultPlan(e.net, seed, e.opts.Faults)
+	label := fmt.Sprintf("seed:%d", seed)
+	extra := 0
+	r, err := e.newRun(label)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Empty() {
+		r.label = fmt.Sprintf("seed:%d faults[%s]", seed, plan)
+		r.sim.SetFaults(plan)
+		extra = plan.Horizon()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	steps := 4 * len(e.net) * 2
+	for n := 0; n < steps; n++ {
+		x := e.net[rng.Intn(len(e.net))]
+		var err error
+		switch rng.Intn(4) {
+		case 0:
+			_, err = r.sim.Heartbeat(x)
+		case 1:
+			_, err = r.sim.Deliver(x)
+		case 2:
+			_, err = r.sim.DeliverRandom(x, rng)
+		default:
+			// A random planned batch: each buffered fact kept or
+			// withheld by coin flip (all copies at once).
+			_, err = r.sim.DeliverWhere(x, func(fact.Fact) bool { return rng.Intn(2) == 0 })
+		}
+		if err != nil {
+			return nil, err
+		}
+		if v := r.checkSound(); v != nil {
+			return v, nil
+		}
+	}
+	return r.finish(extra)
 }

@@ -73,3 +73,100 @@ func TestExploreFindsViolations(t *testing.T) {
 		t.Error("violation schedule empty (violations should be found after at least one step)")
 	}
 }
+
+// The schedule explorer finds the forwarder clean across starvation,
+// greedy adversaries, and seeded fault plans — and counts its work.
+func TestExploreSchedulesForwarderClean(t *testing.T) {
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b) E(b,c)`)
+	opts := ExploreOptions{Seeds: 30, Faults: DefaultFaultConfig()}
+	v, stats, err := ExploreSchedules(net, forwardTransducer(), HashPolicy(net), Original, in, wantO(in), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("forwarder violated a schedule: %v", v)
+	}
+	// 1 fair + |N| starvation + 1 flood + |N| fresh-starve + 30 seeded.
+	if want := 1 + len(net) + 1 + len(net) + 30; stats.Schedules != want {
+		t.Errorf("Schedules = %d, want %d", stats.Schedules, want)
+	}
+	if stats.Transitions == 0 {
+		t.Error("no transitions counted")
+	}
+}
+
+func TestExploreSchedulesFindsWrongFact(t *testing.T) {
+	bad := &Transducer{
+		Schema: Schema{
+			In:  fact.MustSchema(map[string]int{"E": 2}),
+			Out: fact.MustSchema(map[string]int{"O": 2}),
+		},
+		Out: func(d *fact.Instance) (*fact.Instance, error) {
+			return fact.MustParseInstance(`O(wrong,wrong)`), nil
+		},
+	}
+	net := MustNetwork("n1", "n2")
+	in := fact.MustParseInstance(`E(a,b)`)
+	v, _, err := ExploreSchedules(net, bad, HashPolicy(net), Original, in, wantO(in), ExploreOptions{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("wrong-fact transducer not caught")
+	}
+	if v.Kind != WrongFact {
+		t.Errorf("Kind = %v, want %v", v.Kind, WrongFact)
+	}
+	if !v.Bad.Equal(fact.New("O", "wrong", "wrong")) {
+		t.Errorf("Bad = %v", v.Bad)
+	}
+	if v.Schedule == "" {
+		t.Error("violation carries no schedule label")
+	}
+}
+
+// A transducer whose memory oscillates never quiesces; the explorer
+// reports that as a NoQuiescence violation rather than hanging.
+func TestExploreSchedulesNoQuiescence(t *testing.T) {
+	osc := &Transducer{
+		Schema: Schema{
+			In:  fact.MustSchema(map[string]int{"E": 2}),
+			Mem: fact.MustSchema(map[string]int{"Flag": 1}),
+		},
+		Ins: func(d *fact.Instance) (*fact.Instance, error) {
+			if d.RestrictRel("Flag").Empty() {
+				return fact.MustParseInstance(`Flag(on)`), nil
+			}
+			return fact.NewInstance(), nil
+		},
+		Del: func(d *fact.Instance) (*fact.Instance, error) {
+			if !d.RestrictRel("Flag").Empty() {
+				return fact.MustParseInstance(`Flag(on)`), nil
+			}
+			return fact.NewInstance(), nil
+		},
+	}
+	net := MustNetwork("n1")
+	in := fact.MustParseInstance(`E(a,b)`)
+	v, _, err := ExploreSchedules(net, osc, HashPolicy(net), Original, in, fact.NewInstance(),
+		ExploreOptions{Seeds: 1, MaxRounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Kind != NoQuiescence {
+		t.Errorf("violation = %v, want NoQuiescence", v)
+	}
+}
+
+func TestViolationKindString(t *testing.T) {
+	for k, want := range map[ViolationKind]string{
+		WrongFact:    "wrong-fact",
+		Divergence:   "divergence",
+		NoQuiescence: "no-quiescence",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

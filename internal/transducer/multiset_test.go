@@ -86,6 +86,93 @@ func TestDuplicateSendsAccumulate(t *testing.T) {
 	}
 }
 
+// Table-driven edge cases for the multiset buffer.
+func TestMultisetEdgeCases(t *testing.T) {
+	type add struct {
+		f fact.Fact
+		n int
+	}
+	cases := []struct {
+		name          string
+		adds          []add
+		wantSize      int
+		wantSetLen    int
+		wantDelivered int
+	}{
+		{"empty buffer", nil, 0, 0, 0},
+		{"single fact count 1", []add{{fact.New("F", "a"), 1}}, 1, 1, 1},
+		{"single fact count 3", []add{{fact.New("F", "a"), 3}}, 3, 1, 3},
+		{"distinct facts", []add{{fact.New("F", "a"), 1}, {fact.New("F", "b"), 1}}, 2, 2, 2},
+		{"mixed counts accumulate", []add{
+			{fact.New("F", "a"), 2}, {fact.New("F", "a"), 3}, {fact.New("F", "b"), 1},
+		}, 6, 2, 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMultiset()
+			for _, a := range c.adds {
+				m.add(a.f, a.n)
+			}
+			if m.size() != c.wantSize {
+				t.Errorf("size = %d, want %d", m.size(), c.wantSize)
+			}
+			if m.empty() != (c.wantSize == 0) {
+				t.Errorf("empty = %v with size %d", m.empty(), c.wantSize)
+			}
+			set, delivered := m.takeAll()
+			if set.Len() != c.wantSetLen || delivered != c.wantDelivered {
+				t.Errorf("takeAll = (%d facts, %d delivered), want (%d, %d)",
+					set.Len(), delivered, c.wantSetLen, c.wantDelivered)
+			}
+			if !m.empty() || m.size() != 0 {
+				t.Errorf("buffer not drained: size %d", m.size())
+			}
+			// takeAll on the now-empty buffer is a no-op.
+			set, delivered = m.takeAll()
+			if set.Len() != 0 || delivered != 0 {
+				t.Errorf("takeAll on empty = (%d, %d)", set.Len(), delivered)
+			}
+		})
+	}
+}
+
+// takeRandom drains in a stable order: with equal seeds, repeated
+// draws remove the same facts in the same sequence every time.
+func TestMultisetTakeRandomDrainingOrderStable(t *testing.T) {
+	build := func() *multiset {
+		m := newMultiset()
+		for k := 0; k < 8; k++ {
+			m.add(fact.New("F", fact.Value(rune('a'+k))), 1+k%3)
+		}
+		return m
+	}
+	drain := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		m := build()
+		var order []string
+		for !m.empty() {
+			set, _ := m.takeRandom(rng)
+			order = append(order, set.String())
+		}
+		return order
+	}
+	a, b := drain(5), drain(5)
+	if len(a) != len(b) {
+		t.Fatalf("draining lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// takeRandom on an empty buffer returns an empty set and no count.
+	m := newMultiset()
+	set, n := m.takeRandom(rand.New(rand.NewSource(1)))
+	if set.Len() != 0 || n != 0 {
+		t.Errorf("takeRandom on empty = (%d, %d)", set.Len(), n)
+	}
+}
+
 // Example 4.2 of the paper: the system facts exposed to node 1 under
 // the first-attribute policy P1 with I = {E(1,3), E(3,4), E(4,6)}.
 func TestExample42SystemFacts(t *testing.T) {

@@ -97,16 +97,45 @@ func (m *multiset) takeRandom(rng *rand.Rand) (*fact.Instance, int) {
 }
 
 // Metrics accumulates counters over a simulation, used by the
-// benchmark harness to compare evaluation strategies.
+// benchmark harness to compare evaluation strategies and by the
+// fault-injection tests to account for every message instance. The
+// conservation invariant, with or without faults, is
+//
+//	MessagesSent = MessagesDelivered + buffered + held + MessagesDropped
+//
+// where buffered and held are the live totals reported by
+// TotalBuffered and TotalHeld.
 type Metrics struct {
 	// Transitions counts all transitions, including heartbeats.
 	Transitions int
 	// Heartbeats counts transitions that delivered no messages.
 	Heartbeats int
-	// MessagesSent counts (fact, recipient) pairs enqueued.
+	// MessagesSent counts (fact, recipient) pairs enqueued, including
+	// fault-injected duplicates and crash-recovery retransmissions.
 	MessagesSent int
 	// MessagesDelivered counts message instances taken from buffers.
 	MessagesDelivered int
+	// MessagesDuplicated counts extra copies created by the fault plan.
+	MessagesDuplicated int
+	// MessagesDelayed counts instances the fault plan held back.
+	MessagesDelayed int
+	// MessagesDropped counts in-flight instances lost to crashes.
+	MessagesDropped int
+	// MessagesRetransmitted counts instances rebuffered from send logs
+	// when a crashed node restarts.
+	MessagesRetransmitted int
+	// Crashes counts crash-restart events applied.
+	Crashes int
+	// StalledSteps counts activations swallowed by a stall window.
+	StalledSteps int
+}
+
+// heldMsg is a message instance the fault plan is holding back: it
+// enters the recipient's buffer once the clock reaches release.
+type heldMsg struct {
+	release int
+	f       fact.Fact
+	n       int
 }
 
 // Simulation is a transducer network (N, Υ, Π, P) running on one
@@ -122,6 +151,16 @@ type Simulation struct {
 	local map[NodeID]*fact.Instance
 	state map[NodeID]*fact.Instance
 	buf   map[NodeID]*multiset
+
+	// Fault injection (nil faults = the faithful Section 4.1.3
+	// semantics). clock counts transition attempts and drives the
+	// plan's windows; held queues delayed messages per recipient;
+	// sentLog records the set of facts each node has broadcast, the
+	// material for crash-recovery rebroadcast.
+	faults  *FaultPlan
+	clock   int
+	held    map[NodeID][]heldMsg
+	sentLog map[NodeID]*fact.Instance
 
 	// Metrics accumulates counters; reset freely between phases.
 	Metrics Metrics
@@ -170,8 +209,27 @@ func NewSimulation(net Network, t *Transducer, p Policy, mod Model, input *fact.
 		s.state[x] = fact.NewInstance()
 		s.buf[x] = newMultiset()
 	}
+	s.held = make(map[NodeID][]heldMsg, len(net))
+	s.sentLog = make(map[NodeID]*fact.Instance, len(net))
+	for _, x := range net {
+		s.sentLog[x] = fact.NewInstance()
+	}
 	return s, nil
 }
+
+// SetFaults installs a fault plan between send and buffer. Pass nil to
+// restore the faithful semantics. Install the plan before stepping:
+// its decisions are functions of the transition clock, so a plan
+// attached mid-run sees only the remaining transitions.
+func (s *Simulation) SetFaults(p *FaultPlan) { s.faults = p }
+
+// Faults returns the installed fault plan, if any.
+func (s *Simulation) Faults() *FaultPlan { return s.faults }
+
+// Clock returns the number of transition attempts so far (including
+// stalled activations). The fault plan's windows are expressed on this
+// clock.
+func (s *Simulation) Clock() int { return s.clock }
 
 // Clone returns an independent copy of the simulation: states and
 // buffers are deep-copied, so stepping the clone leaves the original
@@ -186,6 +244,10 @@ func (s *Simulation) Clone() *Simulation {
 		local:   s.local, // fragments are never mutated after NewSimulation
 		state:   make(map[NodeID]*fact.Instance, len(s.state)),
 		buf:     make(map[NodeID]*multiset, len(s.buf)),
+		faults:  s.faults, // plans are immutable and decision-pure
+		clock:   s.clock,
+		held:    make(map[NodeID][]heldMsg, len(s.held)),
+		sentLog: make(map[NodeID]*fact.Instance, len(s.sentLog)),
 		Metrics: s.Metrics,
 	}
 	for x, st := range s.state {
@@ -198,6 +260,12 @@ func (s *Simulation) Clone() *Simulation {
 			nb.counts[k] = b.counts[k]
 		}
 		c.buf[x] = nb
+	}
+	for x, q := range s.held {
+		c.held[x] = append([]heldMsg(nil), q...)
+	}
+	for x, log := range s.sentLog {
+		c.sentLog[x] = log.Clone()
 	}
 	return c
 }
@@ -218,6 +286,118 @@ func (s *Simulation) TotalBuffered() int {
 		total += b.size()
 	}
 	return total
+}
+
+// TotalHeld returns the number of message instances the fault plan is
+// currently holding back (delays and unhealed partitions).
+func (s *Simulation) TotalHeld() int {
+	total := 0
+	for _, q := range s.held {
+		for _, h := range q {
+			total += h.n
+		}
+	}
+	return total
+}
+
+// begin opens one transition attempt: the clock advances, scheduled
+// crashes fire, expired holds drain into their buffers, and the active
+// node's stall status is reported. A stalled activation is a no-op —
+// the node performs no transition at all during its window.
+func (s *Simulation) begin(x NodeID) (stalled bool) {
+	s.clock++
+	if s.faults == nil {
+		return false
+	}
+	for _, c := range s.faults.Crashes {
+		if c.At == s.clock {
+			s.crash(c.Node)
+		}
+	}
+	s.releaseHeld()
+	if s.faults.StalledAt(x, s.clock) {
+		s.Metrics.StalledSteps++
+		if s.trace != nil {
+			fmt.Fprintf(s.trace, "[%04d] stalled   at %-4s (window pending)\n", s.Metrics.Transitions, x)
+		}
+		return true
+	}
+	return false
+}
+
+// releaseHeld moves every held message whose hold expired into its
+// recipient's buffer.
+func (s *Simulation) releaseHeld() {
+	for _, x := range s.Net {
+		q := s.held[x]
+		if len(q) == 0 {
+			continue
+		}
+		keep := q[:0]
+		for _, h := range q {
+			if h.release <= s.clock {
+				s.buf[x].add(h.f, h.n)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		s.held[x] = keep
+	}
+}
+
+// crash applies a crash-restart of node x: volatile state — memory,
+// outputs, buffered and held messages — is dropped, while the durable
+// local input fragment survives. Recovery rebroadcast then refills x's
+// buffer with every fact the other nodes have ever sent (their send
+// logs), so no message is permanently lost and fairness is preserved.
+// Dropped in-flight instances are counted in MessagesDropped so the
+// conservation invariant stays checkable.
+func (s *Simulation) crash(x NodeID) {
+	if !s.Net.Has(x) {
+		return
+	}
+	dropped := s.buf[x].size()
+	for _, h := range s.held[x] {
+		dropped += h.n
+	}
+	s.Metrics.MessagesDropped += dropped
+	s.state[x] = fact.NewInstance()
+	s.buf[x] = newMultiset()
+	s.held[x] = nil
+	for _, y := range s.Net {
+		if y == x {
+			continue
+		}
+		for _, f := range s.sentLog[y].Facts() {
+			s.buf[x].add(f, 1)
+			s.Metrics.MessagesSent++
+			s.Metrics.MessagesRetransmitted++
+		}
+	}
+	s.Metrics.Crashes++
+	if s.trace != nil {
+		fmt.Fprintf(s.trace, "[%04d] crash     at %-4s dropped=%d rebuffered=%d\n",
+			s.Metrics.Transitions, x, dropped, s.buf[x].size())
+	}
+}
+
+// send routes one (fact, recipient) pair through the fault plan: the
+// instance may be duplicated and may be held back (random delay or an
+// active partition) before reaching the buffer.
+func (s *Simulation) send(from, to NodeID, f fact.Fact) {
+	copies, delay := 1, 0
+	if s.faults != nil {
+		copies += s.faults.extraCopies(s.clock, from, to, f)
+		delay = s.faults.holdFor(s.clock, from, to, f)
+	}
+	s.Metrics.MessagesSent += copies
+	s.Metrics.MessagesDuplicated += copies - 1
+	if delay > 0 {
+		s.held[to] = append(s.held[to], heldMsg{release: s.clock + delay, f: f, n: copies})
+		s.Metrics.MessagesDelayed += copies
+	} else {
+		s.buf[to].add(f, copies)
+	}
 }
 
 // Output returns out(R) so far: the union over all nodes of their
@@ -313,17 +493,20 @@ func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err e
 		}
 	}
 
-	// Broadcast sent facts to every other node.
+	// Broadcast sent facts to every other node (through the fault
+	// plan, when one is installed) and log them for crash recovery.
 	if !snd.Empty() {
 		for _, y := range s.Net {
 			if y == x {
 				continue
 			}
 			for _, f := range snd.Facts() {
-				s.buf[y].add(f, 1)
-				s.Metrics.MessagesSent++
+				s.send(x, y, f)
 			}
 			changed = true
+		}
+		for _, f := range snd.Facts() {
+			s.sentLog[x].Add(f)
 		}
 	}
 
@@ -352,6 +535,9 @@ func (s *Simulation) Heartbeat(x NodeID) (bool, error) {
 	if !s.Net.Has(x) {
 		return false, fmt.Errorf("transducer: node %s not in network", x)
 	}
+	if s.begin(x) {
+		return false, nil
+	}
 	return s.transition(x, fact.NewInstance())
 }
 
@@ -360,9 +546,31 @@ func (s *Simulation) Deliver(x NodeID) (bool, error) {
 	if !s.Net.Has(x) {
 		return false, fmt.Errorf("transducer: node %s not in network", x)
 	}
+	if s.begin(x) {
+		return false, nil
+	}
 	m, n := s.buf[x].takeAll()
 	s.Metrics.MessagesDelivered += n
 	return s.transition(x, m)
+}
+
+// takeBatch removes from x's buffer every fact selected by keep (all
+// copies of each) and returns the batch as a set. The buffer is walked
+// in sorted key order so a stateful keep sees a reproducible sequence.
+func (s *Simulation) takeBatch(x NodeID, keep func(fact.Fact) bool) *fact.Instance {
+	b := s.buf[x]
+	m := fact.NewInstance()
+	for _, k := range b.sortedKeys() {
+		f := b.facts[k]
+		if !keep(f) {
+			continue
+		}
+		s.Metrics.MessagesDelivered += b.counts[k]
+		m.Add(f)
+		delete(b.counts, k)
+		delete(b.facts, k)
+	}
+	return m
 }
 
 // DeliverWhere performs a transition of x delivering exactly the
@@ -373,21 +581,25 @@ func (s *Simulation) DeliverWhere(x NodeID, pred func(fact.Fact) bool) (bool, er
 	if !s.Net.Has(x) {
 		return false, fmt.Errorf("transducer: node %s not in network", x)
 	}
-	b := s.buf[x]
-	m := fact.NewInstance()
-	// Sorted order: a stateful pred (e.g. "first n facts") must see a
-	// reproducible sequence.
-	for _, k := range b.sortedKeys() {
-		f := b.facts[k]
-		if !pred(f) {
-			continue
-		}
-		s.Metrics.MessagesDelivered += b.counts[k]
-		m.Add(f)
-		delete(b.counts, k)
-		delete(b.facts, k)
+	if s.begin(x) {
+		return false, nil
 	}
-	return s.transition(x, m)
+	return s.transition(x, s.takeBatch(x, pred))
+}
+
+// DeliverBatch performs a transition of x delivering exactly the
+// planned batch: every buffered fact listed in batch is delivered with
+// all its copies; listed facts not currently buffered are ignored.
+// This is the planned-delivery primitive the schedule explorer builds
+// its adversarial schedules from.
+func (s *Simulation) DeliverBatch(x NodeID, batch *fact.Instance) (bool, error) {
+	if !s.Net.Has(x) {
+		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	if s.begin(x) {
+		return false, nil
+	}
+	return s.transition(x, s.takeBatch(x, batch.Has))
 }
 
 // DeliverRandom performs a transition of x delivering a random
@@ -395,6 +607,9 @@ func (s *Simulation) DeliverWhere(x NodeID, pred func(fact.Fact) bool) (bool, er
 func (s *Simulation) DeliverRandom(x NodeID, rng *rand.Rand) (bool, error) {
 	if !s.Net.Has(x) {
 		return false, fmt.Errorf("transducer: node %s not in network", x)
+	}
+	if s.begin(x) {
+		return false, nil
 	}
 	m, n := s.buf[x].takeRandom(rng)
 	s.Metrics.MessagesDelivered += n
@@ -422,11 +637,19 @@ func (s *Simulation) RunToQuiescence(maxRounds int) (*fact.Instance, error) {
 				roundChanged = true
 			}
 		}
-		if !roundChanged && s.TotalBuffered() == 0 {
+		if !roundChanged && s.TotalBuffered() == 0 && s.TotalHeld() == 0 && s.faultsDone() {
 			return s.Output(), nil
 		}
 	}
 	return nil, fmt.Errorf("%w (maxRounds=%d)", ErrNoQuiescence, maxRounds)
+}
+
+// faultsDone reports whether every fault-plan window lies behind the
+// clock. A network must not be declared quiescent while a crash or
+// stall is still scheduled: the rounds keep ticking (empty deliveries)
+// until the plan's horizon passes and any late fault has played out.
+func (s *Simulation) faultsDone() bool {
+	return s.faults == nil || s.clock >= s.faults.Horizon()
 }
 
 // RunRandom interleaves randomSteps random transitions (random active

@@ -2,6 +2,11 @@
 # check.sh runs the full local gate: vet, build, and the test suite
 # under the race detector (the parallel fixpoint engine and the
 # simulation determinism tests are the main race-sensitive surfaces).
+# The fault-injection and explorer packages additionally run twice
+# under -race (-count=2 defeats the test cache and catches
+# order-dependent state), and internal/transducer coverage is gated at
+# its pre-fault-layer baseline (84.0%) so the simulator never loses
+# test coverage as it grows.
 # Usage: scripts/check.sh  (or: make check)
 set -eu
 
@@ -15,5 +20,20 @@ go build ./...
 
 echo ">> go test -race ./..."
 go test -race ./...
+
+echo ">> go test -race -count=2 ./internal/transducer/... ./internal/core/..."
+go test -race -count=2 ./internal/transducer/... ./internal/core/...
+
+echo ">> coverage gate: internal/transducer >= 84.0%"
+cov=$(go test -cover ./internal/transducer/ | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub("%", "", $i); print $i}}')
+if [ -z "$cov" ]; then
+    echo "check: FAILED to read internal/transducer coverage"
+    exit 1
+fi
+if ! awk -v c="$cov" 'BEGIN { exit !(c >= 84.0) }'; then
+    echo "check: internal/transducer coverage ${cov}% dropped below the 84.0% baseline"
+    exit 1
+fi
+echo "   internal/transducer coverage: ${cov}%"
 
 echo "check: OK"
