@@ -18,6 +18,7 @@ import (
 	"repro/internal/fact"
 	"repro/internal/generate"
 	"repro/internal/monotone"
+	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/transducer"
 )
@@ -104,11 +105,23 @@ func BenchmarkNaiveVsSemiNaive(b *testing.B) {
 	for _, c := range inputs {
 		for _, m := range evalModes {
 			b.Run(c.name+"/"+m.name, func(b *testing.B) {
+				// One instrumented warm-up run collects the work profile
+				// (deterministic per configuration); the timed loop below
+				// stays uninstrumented so ns/op measures the bare engine.
+				reg := obs.NewRegistry()
+				if _, err := tc.Fixpoint(c.in, datalog.FixpointOptions{Mode: m.mode, Reg: reg}); err != nil {
+					b.Fatal(err)
+				}
+				snap := reg.Snapshot()
+				b.ResetTimer()
 				for n := 0; n < b.N; n++ {
 					if _, err := tc.Fixpoint(c.in, datalog.FixpointOptions{Mode: m.mode}); err != nil {
 						b.Fatal(err)
 					}
 				}
+				b.ReportMetric(float64(snap.Counters[obs.DlDerivations]), "derivations/op")
+				b.ReportMetric(float64(snap.Counters[obs.DlDuplicates]), "duplicates/op")
+				b.ReportMetric(float64(snap.Counters[obs.DlRounds]), "rounds/op")
 			})
 		}
 	}
@@ -163,6 +176,14 @@ func BenchmarkStrategyMessages(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			// Instrumented warm-up run for the quiescence tick; the timed
+			// loop stays uninstrumented.
+			reg := obs.NewRegistry()
+			if _, err := core.ComputeRun(c.s, c.q, net, c.pol, in, core.RunConfig{Reg: reg}); err != nil {
+				b.Fatal(err)
+			}
+			tick := reg.Snapshot().Gauges[obs.SimQuiescenceTick]
+			b.ResetTimer()
 			var msgs, trans int
 			for n := 0; n < b.N; n++ {
 				res, err := core.Compute(c.s, c.q, net, c.pol, in, 0)
@@ -174,6 +195,9 @@ func BenchmarkStrategyMessages(b *testing.B) {
 			}
 			b.ReportMetric(float64(msgs), "msgs/run")
 			b.ReportMetric(float64(trans), "transitions/run")
+			if tick > 0 {
+				b.ReportMetric(float64(msgs)/float64(tick), "msgs/tick")
+			}
 		})
 	}
 }

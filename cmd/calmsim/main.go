@@ -13,18 +13,22 @@
 //	calmsim -query tc -strategy broadcast -faults "dup=0.3,delay=0.5:4,crash=n2@9"
 //	calmsim -query noloop -strategy absence -faults random -seed 7
 //	calmsim -query qtc -strategy domainreq -seeds 500
+//	calmsim -query tc -strategy broadcast -trace run.jsonl -metrics metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/fact"
 	"repro/internal/generate"
 	"repro/internal/monotone"
+	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/transducer"
 )
@@ -42,9 +46,12 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "when > 0, run the adversarial schedule explorer with this many seeded fault schedules (plus starvation and greedy adversaries)")
 		verify    = flag.Bool("verify", false, "also check the Definition 3 coordination-freeness witness")
 		explore   = flag.Int("explore", 0, "when > 0, exhaustively explore all schedules to this depth and check output safety")
-		trace     = flag.Bool("trace", false, "log every transition of the main run")
+		tracePath = flag.String("trace", "", `write structured JSONL events (sim.* transitions/faults, explore.* schedules) to this file ("-" = stdout)`)
+		metrics   = flag.String("metrics", "", `write run metrics (sim.* / explore.* counters) as JSON to this file ("-" = stdout)`)
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	q, demo, err := lookupQuery(*queryName)
 	if err != nil {
@@ -115,36 +122,17 @@ func main() {
 		fmt.Printf("fragment at %s: %v\n", x, frags[x])
 	}
 
-	var res *core.Result
-	switch {
-	case *trace:
-		tr, err := core.Build(s, q)
-		if err != nil {
-			fatal(err)
-		}
-		sim, err := transducer.NewSimulation(net, tr, pol, s.RequiredModel(), input)
-		if err != nil {
-			fatal(err)
-		}
-		maxRounds := 32 + input.Len() + 4*len(net)
-		if plan != nil {
-			sim.SetFaults(plan)
-			maxRounds += plan.Horizon()
-		}
-		fmt.Println("\ntrace:")
-		sim.TraceTo(os.Stdout)
-		out, err := sim.RunToQuiescence(maxRounds)
-		if err != nil {
-			fatal(err)
-		}
-		res = &core.Result{Output: out, Metrics: sim.Metrics}
-	case plan != nil:
-		res, err = core.ComputeFaulty(s, q, net, pol, input, plan, 0)
-	case *seed != 0:
-		res, err = core.ComputeRandom(s, q, net, pol, input, *seed, *steps, 0)
-	default:
-		res, err = core.Compute(s, q, net, pol, input, 0)
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
 	}
+	sink, closeSink := openTrace(*tracePath)
+
+	cfg := core.RunConfig{Plan: plan, Sink: sink, Reg: reg}
+	if plan == nil && *seed != 0 {
+		cfg.Seed, cfg.RandomSteps = *seed, *steps
+	}
+	res, err := core.ComputeRun(s, q, net, pol, input, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -181,7 +169,7 @@ func main() {
 	}
 
 	if *seeds > 0 {
-		opts := transducer.ExploreOptions{Seeds: *seeds, Faults: core.FaultConfigFor(s)}
+		opts := transducer.ExploreOptions{Seeds: *seeds, Faults: core.FaultConfigFor(s), Sink: sink}
 		if *seed != 0 {
 			opts.BaseSeed = *seed
 		}
@@ -189,6 +177,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		stats.Publish(reg)
 		if v == nil {
 			fmt.Printf("explore: %d schedules (%d transitions) clean — starvation, greedy adversaries, %d seeded fault plans\n",
 				stats.Schedules, stats.Transitions, *seeds)
@@ -212,6 +201,72 @@ func main() {
 			fmt.Printf("explore: UNSAFE schedule found: %v\n", v)
 		}
 	}
+
+	closeSink()
+	writeMetrics(reg, *metrics)
+}
+
+// openTrace opens the JSONL event sink ("" = disabled, "-" = stdout).
+func openTrace(path string) (*obs.Sink, func()) {
+	switch path {
+	case "":
+		return nil, func() {}
+	case "-":
+		sink := obs.NewSink(os.Stdout)
+		return sink, func() { checkSink(sink) }
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	sink := obs.NewSink(f)
+	return sink, func() {
+		checkSink(sink)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func checkSink(sink *obs.Sink) {
+	if err := sink.Err(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+}
+
+// writeMetrics dumps the registry as JSON ("" = disabled, "-" = stdout).
+func writeMetrics(reg *obs.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	if path == "-" {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// startPprof serves the net/http/pprof handlers in the background.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "calmsim: pprof server: %v\n", err)
+		}
+	}()
 }
 
 func lookupQuery(name string) (monotone.Query, *fact.Instance, error) {

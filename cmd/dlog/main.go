@@ -22,12 +22,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/ilog"
+	"repro/internal/obs"
 	"repro/internal/queries"
 )
 
@@ -42,8 +45,12 @@ func main() {
 		useIlog     = flag.Bool("ilog", false, "parse as an ILOG¬ program with invention heads like Id(*, x, y)")
 		adom        = flag.Bool("adom", false, "append rules computing the conventional Adom relation")
 		classify    = flag.Bool("classify", true, "print the fragment classification")
+		metricsPath = flag.String("metrics", "", `write engine metrics (dl.* / ilog.* counters) as JSON to this file ("-" = stdout)`)
+		tracePath   = flag.String("trace", "", `write structured JSONL evaluation events to this file ("-" = stdout)`)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 	if *programPath == "" {
 		fmt.Fprintln(os.Stderr, "dlog: -program is required")
 		flag.Usage()
@@ -67,8 +74,16 @@ func main() {
 		}
 	}
 
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	sink, closeSink := openTrace(*tracePath)
+
 	if *useIlog {
-		runIlog(string(src), input, *outRels, *workers)
+		runIlog(string(src), input, *outRels, *workers, reg, sink)
+		closeSink()
+		writeMetrics(reg, *metricsPath)
 		return
 	}
 
@@ -92,6 +107,8 @@ func main() {
 		}
 		printFacts("true", filterRels(res.True.Minus(input), *outRels))
 		printFacts("undefined", filterRels(res.Undefined, *outRels))
+		closeSink()
+		writeMetrics(reg, *metricsPath)
 		return
 	}
 
@@ -99,22 +116,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := datalog.FixpointOptions{Mode: evalMode, Workers: *workers}
+	opts := datalog.FixpointOptions{Mode: evalMode, Workers: *workers, Reg: reg, Sink: sink}
 	out, err := prog.EvalStratified(input, opts)
 	if err != nil {
 		fatal(err)
 	}
 	printFacts("derived", filterRels(out.Minus(input), *outRels))
+	closeSink()
+	writeMetrics(reg, *metricsPath)
 }
 
 // runIlog parses and evaluates an ILOG¬ program with invention.
-func runIlog(src string, input *fact.Instance, outRels string, workers int) {
+func runIlog(src string, input *fact.Instance, outRels string, workers int, reg *obs.Registry, sink *obs.Sink) {
 	prog, err := ilog.ParseProgram(src)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("semi-connected: %v\n", prog.IsSemiConnected())
-	full, err := prog.Eval(input, ilog.Options{Workers: workers})
+	full, err := prog.Eval(input, ilog.Options{Workers: workers, Reg: reg, Sink: sink})
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +157,71 @@ func printFacts(label string, i *fact.Instance) {
 	for _, f := range i.Facts() {
 		fmt.Printf("  %s\n", f)
 	}
+}
+
+// openTrace opens the JSONL event sink ("" = disabled, "-" = stdout).
+// The returned close function flushes the file and surfaces any write
+// error latched by the sink.
+func openTrace(path string) (*obs.Sink, func()) {
+	switch path {
+	case "":
+		return nil, func() {}
+	case "-":
+		sink := obs.NewSink(os.Stdout)
+		return sink, func() { checkSink(sink) }
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	sink := obs.NewSink(f)
+	return sink, func() {
+		checkSink(sink)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func checkSink(sink *obs.Sink) {
+	if err := sink.Err(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+}
+
+// writeMetrics dumps the registry as JSON ("" = disabled, "-" = stdout).
+func writeMetrics(reg *obs.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	if path == "-" {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// startPprof serves the net/http/pprof handlers in the background.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "dlog: pprof server: %v\n", err)
+		}
+	}()
 }
 
 func fatal(err error) {

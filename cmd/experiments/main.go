@@ -9,8 +9,12 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/core"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/fact"
 	"repro/internal/generate"
 	"repro/internal/monotone"
+	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/transducer"
 )
@@ -26,10 +31,42 @@ import (
 type experiment struct {
 	id    string
 	claim string
-	run   func() (string, bool)
+	run   func(reg *obs.Registry) (string, bool)
+}
+
+// reportRow is one machine-readable result row: the paper's claim, the
+// checked observation, and the run's counters/gauges (schedule counts,
+// message flows, transitions), so the X1–X7 columns of EXPERIMENTS.md
+// can be regenerated from the JSON report alone.
+type reportRow struct {
+	ID       string           `json:"id"`
+	Claim    string           `json:"claim"`
+	OK       bool             `json:"ok"`
+	Observed string           `json:"observed"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+type matrixRow struct {
+	Query    string `json:"query"`
+	Class    string `json:"class"`
+	Expected bool   `json:"expected"`
+	Observed bool   `json:"observed"`
+}
+
+type report struct {
+	Paper    string      `json:"paper"`
+	Rows     []reportRow `json:"rows"`
+	Matrix   []matrixRow `json:"matrix"`
+	Failures int         `json:"failures"`
 }
 
 func main() {
+	metricsPath := flag.String("metrics", "", `write the machine-readable result matrix as JSON to this file ("-" = stdout)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+	startPprof(*pprofAddr)
+
 	exps := []experiment{}
 	exps = append(exps, figure1Experiments()...)
 	exps = append(exps, lemma32Experiments()...)
@@ -39,23 +76,34 @@ func main() {
 
 	fmt.Println("Reproduction matrix — Ameloot, Ketsman, Neven, Zinn: \"Weaker Forms of Monotonicity\" (PODS 2014)")
 	fmt.Println()
+	rep := report{Paper: "Ameloot, Ketsman, Neven, Zinn: Weaker Forms of Monotonicity for Declarative Networking (PODS 2014)"}
 	failures := 0
 	for _, e := range exps {
-		observed, ok := e.run()
+		reg := obs.NewRegistry()
+		observed, ok := e.run(reg)
 		status := "ok  "
 		if !ok {
 			status = "FAIL"
 			failures++
 		}
 		fmt.Printf("[%s] %-8s %-58s  %s\n", status, e.id, e.claim, observed)
+		snap := reg.Snapshot()
+		rep.Rows = append(rep.Rows, reportRow{
+			ID: e.id, Claim: e.claim, OK: ok, Observed: observed,
+			Counters: snap.Counters, Gauges: snap.Gauges,
+		})
 	}
 	fmt.Println()
-	matrixFailures, err := printBoundedMatrix()
+	matrixFailures, matrix, err := printBoundedMatrix()
 	if err != nil {
 		fmt.Printf("bounded matrix error: %v\n", err)
 		os.Exit(1)
 	}
 	failures += matrixFailures
+	rep.Matrix = matrix
+	rep.Failures = failures
+
+	writeReport(rep, *metricsPath)
 
 	fmt.Println()
 	if failures > 0 {
@@ -65,12 +113,48 @@ func main() {
 	fmt.Printf("all %d experiments and the bounded-hierarchy matrix reproduced\n", len(exps))
 }
 
+// writeReport dumps the JSON report ("" = disabled, "-" = stdout).
+func writeReport(rep report, path string) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// startPprof serves the net/http/pprof handlers in the background.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+		}
+	}()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}
+
 // printBoundedMatrix renders the Figure 1 bounded-class membership
 // matrix (Theorem 3.1's parameterized families), one series per query.
-func printBoundedMatrix() (failures int, err error) {
+func printBoundedMatrix() (failures int, report []matrixRow, err error) {
 	rows, err := experiments.BoundedMatrix(3, 150)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	fmt.Println("Bounded-hierarchy matrix (✓ = member; paper-expected vs measured):")
 	fmt.Println()
@@ -94,6 +178,7 @@ func printBoundedMatrix() (failures int, err error) {
 		if !r.Agrees() {
 			failures++
 		}
+		report = append(report, matrixRow{Query: r.Query, Class: cl, Expected: r.Expected, Observed: r.Observed})
 	}
 	fmt.Printf("%-16s", "")
 	for _, cl := range classes {
@@ -120,7 +205,7 @@ func printBoundedMatrix() (failures int, err error) {
 	if failures > 0 {
 		fmt.Printf("\n%d matrix cells disagree with Theorem 3.1\n", failures)
 	}
-	return failures, nil
+	return failures, report, nil
 }
 
 // separation checks that (i, j) — allowed by class c — is a
@@ -159,7 +244,7 @@ func membership(q monotone.Query, c monotone.Class, trials int) (string, bool) {
 
 func figure1Experiments() []experiment {
 	return []experiment{
-		{"F1.1a", "NoLoop ∈ Mdistinct \\ M (M ⊊ Mdistinct)", func() (string, bool) {
+		{"F1.1a", "NoLoop ∈ Mdistinct \\ M (M ⊊ Mdistinct)", func(reg *obs.Registry) (string, bool) {
 			s1, ok1 := separation(queries.NoLoop(), monotone.M,
 				fact.MustParseInstance(`E(a,b)`), fact.MustParseInstance(`E(a,a)`))
 			if !ok1 {
@@ -167,7 +252,7 @@ func figure1Experiments() []experiment {
 			}
 			return membership(queries.NoLoop(), monotone.MDistinct, 300)
 		}},
-		{"F1.1b", "QTC ∈ Mdisjoint \\ Mdistinct (Mdistinct ⊊ Mdisjoint)", func() (string, bool) {
+		{"F1.1b", "QTC ∈ Mdisjoint \\ Mdistinct (Mdistinct ⊊ Mdisjoint)", func(reg *obs.Registry) (string, bool) {
 			s1, ok1 := separation(queries.ComplementTC(), monotone.MDistinct,
 				fact.MustParseInstance(`E(a,a) E(b,b)`), fact.MustParseInstance(`E(a,c) E(c,b)`))
 			if !ok1 {
@@ -175,15 +260,15 @@ func figure1Experiments() []experiment {
 			}
 			return membership(queries.ComplementTC(), monotone.MDisjoint, 300)
 		}},
-		{"F1.1c", "Q_triangles ∈ C \\ Mdisjoint (Mdisjoint ⊊ C)", func() (string, bool) {
+		{"F1.1c", "Q_triangles ∈ C \\ Mdisjoint (Mdisjoint ⊊ C)", func(reg *obs.Registry) (string, bool) {
 			return separation(queries.TrianglesUnlessTwoDisjoint(), monotone.MDisjoint,
 				generate.Triangle("a", "b", "c"), generate.Triangle("x", "y", "z"))
 		}},
-		{"F1.2", "M = Mⁱ (violations shrink to |J| = 1)", func() (string, bool) {
+		{"F1.2", "M = Mⁱ (violations shrink to |J| = 1)", func(reg *obs.Registry) (string, bool) {
 			return separation(queries.NoLoop(), monotone.Mi(1),
 				fact.MustParseInstance(`E(a,b)`), fact.MustParseInstance(`E(a,a)`))
 		}},
-		{"F1.3", "Q⁴clique ∈ M²distinct \\ M³distinct", func() (string, bool) {
+		{"F1.3", "Q⁴clique ∈ M²distinct \\ M³distinct", func(reg *obs.Registry) (string, bool) {
 			i := generate.Clique("v", 3)
 			j := fact.NewInstance()
 			for _, v := range generate.Values("v", 3) {
@@ -195,7 +280,7 @@ func figure1Experiments() []experiment {
 			}
 			return membership(queries.KClique(4), monotone.MiDistinct(2), 300)
 		}},
-		{"F1.4", "Q³star ∈ M²disjoint \\ M³disjoint", func() (string, bool) {
+		{"F1.4", "Q³star ∈ M²disjoint \\ M³disjoint", func(reg *obs.Registry) (string, bool) {
 			s1, ok1 := separation(queries.KStar(3), monotone.MiDisjoint(3),
 				fact.MustParseInstance(`E(a,b)`), generate.Star("c", "s", 3))
 			if !ok1 {
@@ -203,7 +288,7 @@ func figure1Experiments() []experiment {
 			}
 			return membership(queries.KStar(3), monotone.MiDisjoint(2), 300)
 		}},
-		{"F1.5", "Q³clique ∈ M²disjoint \\ M²distinct", func() (string, bool) {
+		{"F1.5", "Q³clique ∈ M²disjoint \\ M²distinct", func(reg *obs.Registry) (string, bool) {
 			i := generate.Clique("v", 2)
 			j := fact.MustParseInstance(`E(center,v0) E(center,v1)`)
 			s1, ok1 := separation(queries.KClique(3), monotone.MiDistinct(2), i, j)
@@ -212,11 +297,11 @@ func figure1Experiments() []experiment {
 			}
 			return membership(queries.KClique(3), monotone.MiDisjoint(2), 300)
 		}},
-		{"F1.6", "Q³star ∈ M²disjoint \\ Mⁱdistinct", func() (string, bool) {
+		{"F1.6", "Q³star ∈ M²disjoint \\ Mⁱdistinct", func(reg *obs.Registry) (string, bool) {
 			return separation(queries.KStar(3), monotone.MiDistinct(1),
 				generate.Star("c", "s", 2), fact.MustParseInstance(`E(c,new)`))
 		}},
-		{"F1.7", "Q³duplicate ∈ Mⁱdistinct \\ M³disjoint (i < 3)", func() (string, bool) {
+		{"F1.7", "Q³duplicate ∈ Mⁱdistinct \\ M³disjoint (i < 3)", func(reg *obs.Registry) (string, bool) {
 			dup := fact.MustParseInstance(`R1(x,y) R2(x,y) R3(x,y)`)
 			return separation(queries.Duplicate(3), monotone.MiDisjoint(3),
 				fact.MustParseInstance(`R1(a,b)`), dup)
@@ -226,7 +311,7 @@ func figure1Experiments() []experiment {
 
 func lemma32Experiments() []experiment {
 	return []experiment{
-		{"L3.2a", "H ⊊ Hinj: ≠-query dies under value collapse", func() (string, bool) {
+		{"L3.2a", "H ⊊ Hinj: ≠-query dies under value collapse", func(reg *obs.Registry) (string, bool) {
 			q := datalog.MustQuery(datalog.MustParseProgram(`O(x,y) :- E(x,y), x != y.`), "O")
 			i := fact.MustParseInstance(`E(a,b)`)
 			h := fact.Hom{"a": "c", "b": "c"}
@@ -239,7 +324,7 @@ func lemma32Experiments() []experiment {
 			}
 			return fmt.Sprintf("collapse drops %v", w.From), true
 		}},
-		{"L3.2b", "E = Mdistinct: QTC violates extension preservation", func() (string, bool) {
+		{"L3.2b", "E = Mdistinct: QTC violates extension preservation", func(reg *obs.Registry) (string, bool) {
 			w, err := monotone.CheckExtensionPair(queries.ComplementTC(),
 				fact.MustParseInstance(`E(a,b)`),
 				fact.MustParseInstance(`E(a,b) E(b,c) E(c,a)`))
@@ -256,21 +341,21 @@ func lemma32Experiments() []experiment {
 
 func figure2FragmentExperiments() []experiment {
 	return []experiment{
-		{"F2.1", "Datalog(≠) ⊆ M", func() (string, bool) {
+		{"F2.1", "Datalog(≠) ⊆ M", func(reg *obs.Registry) (string, bool) {
 			q := datalog.MustQuery(datalog.MustParseProgram(`O(x,y) :- E(x,y), x != y.`), "O")
 			return membership(q, monotone.M, 300)
 		}},
-		{"F2.2", "SP-Datalog ⊆ Mdistinct (= E)", func() (string, bool) {
+		{"F2.2", "SP-Datalog ⊆ Mdistinct (= E)", func(reg *obs.Registry) (string, bool) {
 			return membership(queries.NoLoopDatalog(), monotone.MDistinct, 300)
 		}},
-		{"F2.3", "Thm 5.3: semicon-Datalog¬ ⊆ Mdisjoint (QTC program)", func() (string, bool) {
+		{"F2.3", "Thm 5.3: semicon-Datalog¬ ⊆ Mdisjoint (QTC program)", func(reg *obs.Registry) (string, bool) {
 			p := queries.ComplementTCProgram()
 			if !p.IsSemiConnected() {
 				return "QTC program not classified semicon", false
 			}
 			return membership(queries.ComplementTCDatalog(), monotone.MDisjoint, 300)
 		}},
-		{"F2.4", "Lemma 5.2: con-Datalog¬ distributes over components", func() (string, bool) {
+		{"F2.4", "Lemma 5.2: con-Datalog¬ distributes over components", func(reg *obs.Registry) (string, bool) {
 			p := queries.Example51P1()
 			if !p.IsConnectedProgram() {
 				return "P1 not con", false
@@ -299,7 +384,7 @@ func figure2FragmentExperiments() []experiment {
 			}
 			return "P1(I) = ∪ P1(co(I)) on 30 multi-component inputs", true
 		}},
-		{"F2.5", "Example 5.1: P1 ∈ con \\ Mdistinct; P2 ∉ semicon, ∉ Mdisjoint", func() (string, bool) {
+		{"F2.5", "Example 5.1: P1 ∈ con \\ Mdistinct; P2 ∉ semicon, ∉ Mdisjoint", func(reg *obs.Registry) (string, bool) {
 			p1, p2 := queries.Example51P1(), queries.Example51P2()
 			if p1.Classify() != datalog.FragConDatalog {
 				return "P1 misclassified", false
@@ -316,7 +401,7 @@ func figure2FragmentExperiments() []experiment {
 			return separation(q2, monotone.MDisjoint,
 				generate.Triangle("a", "b", "c"), generate.Triangle("x", "y", "z"))
 		}},
-		{"F2.6", "non-semicon Q³clique program ∉ Mdisjoint", func() (string, bool) {
+		{"F2.6", "non-semicon Q³clique program ∉ Mdisjoint", func(reg *obs.Registry) (string, bool) {
 			if queries.KCliqueProgram(3).IsSemiConnected() {
 				return "Q³clique program wrongly semicon", false
 			}
@@ -331,12 +416,12 @@ func transducerExperiments() []experiment {
 	graph := fact.MustParseInstance(`E(a,b) E(b,c) E(c,a) E(d,d)`)
 	game := fact.MustParseInstance(`Move(a,b) Move(b,a) Move(b,c) Move(d,e)`)
 
-	check := func(s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance) (string, bool) {
+	check := func(reg *obs.Registry, s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance) (string, bool) {
 		want, err := q.Eval(in)
 		if err != nil {
 			return err.Error(), false
 		}
-		res, err := core.Compute(s, q, net, pol, in, 0)
+		res, err := core.ComputeRun(s, q, net, pol, in, core.RunConfig{Reg: reg})
 		if err != nil {
 			return err.Error(), false
 		}
@@ -354,21 +439,21 @@ func transducerExperiments() []experiment {
 	}
 
 	return []experiment{
-		{"F2.8", "F0 = M: broadcast computes TC on any policy, coord-free", func() (string, bool) {
-			return check(core.Broadcast, queries.TC(), transducer.HashPolicy(net), graph)
+		{"F2.8", "F0 = M: broadcast computes TC on any policy, coord-free", func(reg *obs.Registry) (string, bool) {
+			return check(reg, core.Broadcast, queries.TC(), transducer.HashPolicy(net), graph)
 		}},
-		{"F2.9", "Thm 4.3 (F1 = Mdistinct): absence computes NoLoop", func() (string, bool) {
-			return check(core.Absence, queries.NoLoop(), transducer.HashPolicy(net), graph)
+		{"F2.9", "Thm 4.3 (F1 = Mdistinct): absence computes NoLoop", func(reg *obs.Registry) (string, bool) {
+			return check(reg, core.Absence, queries.NoLoop(), transducer.HashPolicy(net), graph)
 		}},
-		{"F2.10a", "Thm 4.4 (F2 = Mdisjoint): domain-request computes QTC", func() (string, bool) {
-			return check(core.DomainRequest, queries.ComplementTC(),
+		{"F2.10a", "Thm 4.4 (F2 = Mdisjoint): domain-request computes QTC", func(reg *obs.Registry) (string, bool) {
+			return check(reg, core.DomainRequest, queries.ComplementTC(),
 				transducer.DomainGuided(transducer.HashAssignment(net)), graph)
 		}},
-		{"F2.10b", "win-move ∈ F2: coordination-free under domain guidance", func() (string, bool) {
-			return check(core.DomainRequest, queries.WinMove(),
+		{"F2.10b", "win-move ∈ F2: coordination-free under domain guidance", func(reg *obs.Registry) (string, bool) {
+			return check(reg, core.DomainRequest, queries.WinMove(),
 				transducer.DomainGuided(transducer.HashAssignment(net)), game)
 		}},
-		{"F2.11", "Thm 4.5: strategies never read All (A0/A1/A2 models)", func() (string, bool) {
+		{"F2.11", "Thm 4.5: strategies never read All (A0/A1/A2 models)", func(reg *obs.Registry) (string, bool) {
 			for _, s := range []core.Strategy{core.Broadcast, core.Absence, core.DomainRequest} {
 				if s.RequiredModel().ShowAll {
 					return fmt.Sprintf("%v uses All", s), false
@@ -376,7 +461,7 @@ func transducerExperiments() []experiment {
 			}
 			return "broadcast oblivious; absence/domain-request run All-free", true
 		}},
-		{"N1", "F0 ⊊ F1 operationally: absence strategy needs policyR", func() (string, bool) {
+		{"N1", "F0 ⊊ F1 operationally: absence strategy needs policyR", func(reg *obs.Registry) (string, bool) {
 			q := queries.NoLoop()
 			in := fact.MustParseInstance(`E(a,b) E(a,a)`)
 			pol := transducer.PolicyFunc(func(f fact.Fact) []transducer.NodeID {
@@ -403,7 +488,7 @@ func transducerExperiments() []experiment {
 			}
 			return "without policyR the strategy emits the wrong O(a)", true
 		}},
-		{"N2", "F1 ⊊ F2 operationally: domain-request needs domain guidance", func() (string, bool) {
+		{"N2", "F1 ⊊ F2 operationally: domain-request needs domain guidance", func(reg *obs.Registry) (string, bool) {
 			q := queries.ComplementTC()
 			in := fact.MustParseInstance(`E(a,b) E(b,a)`)
 			two := transducer.MustNetwork("n1", "n2")
@@ -422,7 +507,7 @@ func transducerExperiments() []experiment {
 			}
 			return fmt.Sprintf("non-guided policy yields %d wrong facts", res.Output.Len()), true
 		}},
-		{"D1", "§7: doubled program — connected WFS stays in Mdisjoint", func() (string, bool) {
+		{"D1", "§7: doubled program — connected WFS stays in Mdisjoint", func(reg *obs.Registry) (string, bool) {
 			p := queries.WinMoveProgram()
 			d, err := queries.DoubledProgram(p)
 			if err != nil {
@@ -467,7 +552,7 @@ func faultExperiments() []experiment {
 	hash := transducer.HashPolicy(net)
 	guided := transducer.DomainGuided(transducer.HashAssignment(net))
 
-	clean := func(s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance, seeds int) (string, bool) {
+	clean := func(reg *obs.Registry, s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance, seeds int) (string, bool) {
 		v, stats, err := core.ExploreStrategy(s, q, net, pol, in, transducer.ExploreOptions{
 			Seeds:  seeds,
 			Faults: core.FaultConfigFor(s),
@@ -475,13 +560,14 @@ func faultExperiments() []experiment {
 		if err != nil {
 			return err.Error(), false
 		}
+		stats.Publish(reg)
 		if v != nil {
 			return fmt.Sprintf("unexpected violation: %v", v), false
 		}
 		return fmt.Sprintf("%d schedules clean (%d seeded fault plans, %d transitions)",
 			stats.Schedules, seeds, stats.Transitions), true
 	}
-	rediscover := func(s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance) (string, bool) {
+	rediscover := func(reg *obs.Registry, s core.Strategy, q monotone.Query, pol transducer.Policy, in *fact.Instance) (string, bool) {
 		v, stats, err := core.ExploreStrategy(s, q, net, pol, in, transducer.ExploreOptions{
 			Seeds:  100,
 			Faults: core.FaultConfigFor(s),
@@ -489,6 +575,7 @@ func faultExperiments() []experiment {
 		if err != nil {
 			return err.Error(), false
 		}
+		stats.Publish(reg)
 		if v == nil {
 			return fmt.Sprintf("divergence NOT rediscovered in %d schedules", stats.Schedules), false
 		}
@@ -496,25 +583,25 @@ func faultExperiments() []experiment {
 	}
 
 	return []experiment{
-		{"X1", "fairness stress: broadcast/TC clean on 1000 fault plans", func() (string, bool) {
-			return clean(core.Broadcast, queries.TC(), hash, graph, 1000)
+		{"X1", "fairness stress: broadcast/TC clean on 1000 fault plans", func(reg *obs.Registry) (string, bool) {
+			return clean(reg, core.Broadcast, queries.TC(), hash, graph, 1000)
 		}},
-		{"X2", "fairness stress: absence/NoLoop clean on 1000 fault plans", func() (string, bool) {
-			return clean(core.Absence, queries.NoLoop(), hash, graph, 1000)
+		{"X2", "fairness stress: absence/NoLoop clean on 1000 fault plans", func(reg *obs.Registry) (string, bool) {
+			return clean(reg, core.Absence, queries.NoLoop(), hash, graph, 1000)
 		}},
-		{"X3", "fairness stress: domainreq/QTC clean on 1000 fault plans", func() (string, bool) {
-			return clean(core.DomainRequest, queries.ComplementTC(), guided, graph, 1000)
+		{"X3", "fairness stress: domainreq/QTC clean on 1000 fault plans", func(reg *obs.Registry) (string, bool) {
+			return clean(reg, core.DomainRequest, queries.ComplementTC(), guided, graph, 1000)
 		}},
-		{"X4", "explorer rediscovers broadcast ∉ F1 (NoLoop wrong fact)", func() (string, bool) {
-			return rediscover(core.Broadcast, queries.NoLoop(), hash, graph)
+		{"X4", "explorer rediscovers broadcast ∉ F1 (NoLoop wrong fact)", func(reg *obs.Registry) (string, bool) {
+			return rediscover(reg, core.Broadcast, queries.NoLoop(), hash, graph)
 		}},
-		{"X5", "explorer rediscovers absence ∉ F2 (QTC wrong fact)", func() (string, bool) {
-			return rediscover(core.Absence, queries.ComplementTC(), hash, cycle)
+		{"X5", "explorer rediscovers absence ∉ F2 (QTC wrong fact)", func(reg *obs.Registry) (string, bool) {
+			return rediscover(reg, core.Absence, queries.ComplementTC(), hash, cycle)
 		}},
-		{"X6", "explorer rediscovers domainreq ∉ C-free (triangles)", func() (string, bool) {
-			return rediscover(core.DomainRequest, queries.TrianglesUnlessTwoDisjoint(), guided, twoTriangles)
+		{"X6", "explorer rediscovers domainreq ∉ C-free (triangles)", func(reg *obs.Registry) (string, bool) {
+			return rediscover(reg, core.DomainRequest, queries.TrianglesUnlessTwoDisjoint(), guided, twoTriangles)
 		}},
-		{"X7", "crash-restart falsifies domainreq's Xok certificates", func() (string, bool) {
+		{"X7", "crash-restart falsifies domainreq's Xok certificates", func(reg *obs.Registry) (string, bool) {
 			// Unlike X3, hand the explorer crashy plans: the Xok message
 			// asserts requester *state* ("all facts of this value are
 			// stored"), which a restart wipes while the recovery
@@ -526,6 +613,7 @@ func faultExperiments() []experiment {
 			if err != nil {
 				return err.Error(), false
 			}
+			stats.Publish(reg)
 			if v == nil {
 				return fmt.Sprintf("crash divergence NOT found in %d schedules", stats.Schedules), false
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fact"
 	"repro/internal/monotone"
+	"repro/internal/obs"
 	"repro/internal/transducer"
 )
 
@@ -15,12 +16,41 @@ type Result struct {
 	Metrics transducer.Metrics
 }
 
-// Compute evaluates the query distributedly: it builds the strategy's
-// transducer, distributes the input over the network under the policy,
-// runs a fair round-robin run to quiescence, and returns the network
-// output. maxRounds bounds the run (32 + |I| + 4|N| is ample for the
-// built-in strategies; pass 0 to use that default).
-func Compute(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, maxRounds int) (*Result, error) {
+// RunConfig collects the optional knobs of a distributed evaluation.
+// The zero value is a plain fair run: round-robin to quiescence with
+// the default round bound and no instrumentation.
+type RunConfig struct {
+	// MaxRounds bounds the fair drive; <= 0 selects the default
+	// 32 + |I| + 4|N| (plus the fault plan's horizon, if any), ample
+	// for the built-in strategies.
+	MaxRounds int
+
+	// Plan installs a fault plan between send and buffer: messages may
+	// be duplicated or delayed, partitions may hold traffic back, and
+	// nodes may stall or crash-restart, all deterministically under
+	// the plan's seed. Faults are transient, so the run stays fair.
+	Plan *transducer.FaultPlan
+
+	// RandomSteps > 0 (or Seed != 0) prefixes the fair drive with that
+	// many random (nondeterministic) transitions under Seed,
+	// exercising run confluence.
+	Seed        int64
+	RandomSteps int
+
+	// Sink receives the simulation's structured events (transitions,
+	// stalls, crashes, holds, quiescence). Nil disables event tracing.
+	Sink *obs.Sink
+
+	// Reg, when non-nil, receives the run metrics as sim.* counters
+	// plus the sim.quiescence_tick gauge after the run completes.
+	Reg *obs.Registry
+}
+
+// ComputeRun evaluates the query distributedly: it builds the
+// strategy's transducer, distributes the input over the network under
+// the policy, drives the simulation per cfg, and returns the network
+// output with the run metrics.
+func ComputeRun(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, cfg RunConfig) (*Result, error) {
 	t, err := Build(s, q)
 	if err != nil {
 		return nil, err
@@ -29,61 +59,49 @@ func Compute(s Strategy, q monotone.Query, net transducer.Network, pol transduce
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Plan != nil {
+		sim.SetFaults(cfg.Plan)
+	}
+	sim.Observe(cfg.Sink)
+	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 32 + input.Len() + 4*len(net)
+		if cfg.Plan != nil {
+			maxRounds += cfg.Plan.Horizon()
+		}
 	}
-	out, err := sim.RunToQuiescence(maxRounds)
+	var out *fact.Instance
+	if cfg.Seed != 0 || cfg.RandomSteps > 0 {
+		out, err = sim.RunRandom(cfg.Seed, cfg.RandomSteps, maxRounds)
+	} else {
+		out, err = sim.RunToQuiescence(maxRounds)
+	}
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Reg != nil {
+		sim.Metrics.Publish(cfg.Reg)
+		cfg.Reg.Gauge(obs.SimQuiescenceTick).Set(int64(sim.Clock()))
+	}
 	return &Result{Output: out, Metrics: sim.Metrics}, nil
+}
+
+// Compute is ComputeRun with a plain fair round-robin run to
+// quiescence. maxRounds <= 0 selects the default bound.
+func Compute(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, maxRounds int) (*Result, error) {
+	return ComputeRun(s, q, net, pol, input, RunConfig{MaxRounds: maxRounds})
 }
 
 // ComputeRandom is Compute with a prefix of random (nondeterministic)
 // transitions before the round-robin drive, exercising run confluence.
 func ComputeRandom(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, seed int64, randomSteps, maxRounds int) (*Result, error) {
-	t, err := Build(s, q)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := transducer.NewSimulation(net, t, pol, s.RequiredModel(), input)
-	if err != nil {
-		return nil, err
-	}
-	if maxRounds <= 0 {
-		maxRounds = 32 + input.Len() + 4*len(net)
-	}
-	out, err := sim.RunRandom(seed, randomSteps, maxRounds)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Output: out, Metrics: sim.Metrics}, nil
+	return ComputeRun(s, q, net, pol, input, RunConfig{MaxRounds: maxRounds, Seed: seed, RandomSteps: randomSteps})
 }
 
-// ComputeFaulty is Compute with a fault plan installed between send
-// and buffer: messages may be duplicated or delayed, partitions may
-// hold traffic back, and nodes may stall or crash-restart, all
-// deterministically under the plan's seed. The run is still fair
-// (faults are transient), so for a query in the strategy's class the
-// output must equal the centralized answer.
+// ComputeFaulty is Compute with a fault plan installed; see
+// RunConfig.Plan for the fault semantics.
 func ComputeFaulty(s Strategy, q monotone.Query, net transducer.Network, pol transducer.Policy, input *fact.Instance, plan *transducer.FaultPlan, maxRounds int) (*Result, error) {
-	t, err := Build(s, q)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := transducer.NewSimulation(net, t, pol, s.RequiredModel(), input)
-	if err != nil {
-		return nil, err
-	}
-	sim.SetFaults(plan)
-	if maxRounds <= 0 {
-		maxRounds = 32 + input.Len() + 4*len(net) + plan.Horizon()
-	}
-	out, err := sim.RunToQuiescence(maxRounds)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Output: out, Metrics: sim.Metrics}, nil
+	return ComputeRun(s, q, net, pol, input, RunConfig{MaxRounds: maxRounds, Plan: plan})
 }
 
 // FaultConfigFor returns the fault mix a strategy is expected to

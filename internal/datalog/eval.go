@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // This file implements the semantics of semi-positive Datalog¬
@@ -166,10 +167,16 @@ func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
 // unmatched atom with the fewest candidate facts under the current
 // bindings is matched next, so atoms with bound arguments are joined
 // before unconstrained scans.
-func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, yield func(Bindings) error) error {
+//
+// scanned, when non-nil, accumulates the number of candidate facts
+// iterated (the engine's join-work measure). The count is kept in a
+// local and flushed once per call, so the disabled (nil) case pays a
+// plain register add in the join loop, not a branch.
+func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, scanned *int64, yield func(Bindings) error) error {
 	n := len(r.Pos)
 	b := make(Bindings)
 	used := make([]bool, n)
+	var nscanned int64
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == n {
@@ -204,6 +211,7 @@ func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []f
 			}
 		}
 		used[k] = true
+		nscanned += int64(len(cand))
 		for _, f := range cand {
 			added, ok := matchAtom(r.Pos[k], f, b)
 			if !ok {
@@ -218,14 +226,19 @@ func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []f
 		used[k] = false
 		return nil
 	}
-	return rec(0)
+	err := rec(0)
+	if scanned != nil {
+		*scanned += nscanned
+	}
+	return err
 }
 
 // evalRule enumerates all satisfying valuations of r against data
-// (indexed in idx) and passes the derived head facts to emit. pin and
-// pinFacts are as for matchRule; pass pin = -1 for a full evaluation.
-func evalRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, emit func(fact.Fact) error) error {
-	return matchRule(r, idx, data, pin, pinFacts, func(b Bindings) error {
+// (indexed in idx) and passes the derived head facts to emit. pin,
+// pinFacts and scanned are as for matchRule; pass pin = -1 for a full
+// evaluation.
+func evalRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, scanned *int64, emit func(fact.Fact) error) error {
+	return matchRule(r, idx, data, pin, pinFacts, scanned, func(b Bindings) error {
 		h, err := groundAtom(r.Head, b)
 		if err != nil {
 			return err
@@ -260,6 +273,16 @@ type FixpointOptions struct {
 	// Workers sets the worker-pool size for Parallel mode; 0 means
 	// GOMAXPROCS. Ignored by the other modes.
 	Workers int
+	// Reg, when non-nil, receives engine metrics (counters, per-rule
+	// work, worker utilization, wall-clock spans). See internal/obs
+	// names.go for the dl.* vocabulary.
+	Reg *obs.Registry
+	// Sink, when non-nil, receives the deterministic structured event
+	// stream (dl.round / dl.stratum / dl.fixpoint): a pure function of
+	// (program, input, mode, workers), byte-identical across repeated
+	// runs regardless of scheduling. Leaving both nil keeps the
+	// disabled fast path.
+	Sink *obs.Sink
 }
 
 func (o FixpointOptions) workers() int {
@@ -286,10 +309,16 @@ func (p *Program) Fixpoint(input *fact.Instance, opts FixpointOptions) (*fact.In
 	if !p.IsSemiPositive() {
 		return nil, fmt.Errorf("datalog: Fixpoint requires a semi-positive program; use EvalStratified")
 	}
+	eo := newEngineObs(opts)
+	stop := opts.Reg.Span(obs.DlFixpointNs)
 	x := IndexInstance(input.Clone())
-	if err := evalStratum(p.Rules, x, opts); err != nil {
+	eo.beginStratum(1, p.Rules)
+	if err := evalStratum(p.Rules, x, opts, eo); err != nil {
 		return nil, err
 	}
+	eo.endStratum(x)
+	eo.endFixpoint(1, x)
+	stop()
 	return x.Instance(), nil
 }
 
@@ -297,12 +326,15 @@ func (p *Program) Fixpoint(input *fact.Instance, opts FixpointOptions) (*fact.In
 // assuming negated relations are static (semi-positive, or a stratum
 // of a stratified program). The shared IndexedInstance is what makes
 // index reuse across strata possible.
-func evalStratum(rules []Rule, x *IndexedInstance, opts FixpointOptions) error {
+func evalStratum(rules []Rule, x *IndexedInstance, opts FixpointOptions, eo *engineObs) error {
+	if eo != nil && opts.Mode == Parallel {
+		eo.reg.Gauge(obs.DlWorkers).SetMax(int64(opts.workers()))
+	}
 	switch opts.Mode {
 	case Naive:
-		return naiveLoop(rules, x, opts.MaxRounds)
+		return naiveLoop(rules, x, opts.MaxRounds, eo)
 	case SemiNaive, Parallel:
-		return semiNaiveLoop(rules, x, opts.MaxRounds, opts.workers())
+		return semiNaiveLoop(rules, x, opts.Mode, opts.MaxRounds, opts.workers(), eo)
 	default:
 		return fmt.Errorf("datalog: unknown evaluation mode %d", opts.Mode)
 	}
@@ -312,21 +344,41 @@ func errMaxRounds(maxRounds int) error {
 	return fmt.Errorf("datalog: fixpoint exceeded %d rounds", maxRounds)
 }
 
-func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int) error {
+func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int, eo *engineObs) error {
 	productive := 0
 	for {
 		derived := fact.NewInstance()
-		for _, r := range rules {
-			err := evalRule(r, x.idx, x.data, -1, nil, func(h fact.Fact) error {
-				if !x.Has(h) {
-					derived.Add(h)
-				}
-				return nil
-			})
+		var agg *roundAgg
+		if eo != nil {
+			agg = eo.newRoundAgg()
+		}
+		for i, r := range rules {
+			var err error
+			if agg == nil {
+				err = evalRule(r, x.idx, x.data, -1, nil, nil, func(h fact.Fact) error {
+					if !x.Has(h) {
+						derived.Add(h)
+					}
+					return nil
+				})
+			} else {
+				var ts taskStats
+				err = evalRule(r, x.idx, x.data, -1, nil, &ts.candidates, func(h fact.Fact) error {
+					if !x.Has(h) {
+						ts.derived++
+						derived.Add(h)
+					} else {
+						ts.duplicates++
+					}
+					return nil
+				})
+				agg.addTask(i, ts)
+			}
 			if err != nil {
 				return err
 			}
 		}
+		eo.roundDone(Naive, len(rules), agg, derived, nil, nil)
 		if derived.Empty() {
 			return nil
 		}
@@ -345,8 +397,8 @@ func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int) error {
 // relation gained facts, with that atom pinned to the delta. With
 // workers > 1 every round's tasks run on a worker pool (parallel.go);
 // the derived facts are identical either way.
-func semiNaiveLoop(rules []Rule, x *IndexedInstance, maxRounds, workers int) error {
-	delta, err := runRound(fullPassTasks(rules, x, workers), x, workers)
+func semiNaiveLoop(rules []Rule, x *IndexedInstance, mode EvalMode, maxRounds, workers int, eo *engineObs) error {
+	delta, err := runRound(fullPassTasks(rules, x, workers), x, workers, mode, eo)
 	if err != nil {
 		return err
 	}
@@ -361,7 +413,7 @@ func semiNaiveLoop(rules []Rule, x *IndexedInstance, maxRounds, workers int) err
 			x.Add(h)
 			deltaByRel[h.Rel()] = append(deltaByRel[h.Rel()], h)
 		}
-		delta, err = runRound(deltaTasks(rules, deltaByRel, workers), x, workers)
+		delta, err = runRound(deltaTasks(rules, deltaByRel, workers), x, workers, mode, eo)
 		if err != nil {
 			return err
 		}

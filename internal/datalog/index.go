@@ -133,7 +133,7 @@ func (x *IndexedInstance) Valuations(r Rule, emit func(Bindings) error) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	return matchRule(r, x.idx, x.data, -1, nil, func(b Bindings) error {
+	return matchRule(r, x.idx, x.data, -1, nil, nil, func(b Bindings) error {
 		snapshot := make(Bindings, len(b))
 		for v, val := range b {
 			snapshot[v] = val
@@ -171,7 +171,7 @@ func (x *IndexedInstance) ValuationsParallel(r Rule, workers int, emit func(Bind
 		go func() {
 			defer wg.Done()
 			for c := range next {
-				errs[c] = matchRule(r, x.idx, x.data, 0, chunks[c], func(b Bindings) error {
+				errs[c] = matchRule(r, x.idx, x.data, 0, chunks[c], nil, func(b Bindings) error {
 					snapshot := make(Bindings, len(b))
 					for v, val := range b {
 						snapshot[v] = val

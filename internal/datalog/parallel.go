@@ -3,8 +3,10 @@ package datalog
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // This file implements the parallel round executor of the semi-naive
@@ -26,8 +28,11 @@ import (
 // ruleTask is one unit of parallel work: evaluate rule with the
 // positive atom at index pin ranging over pinFacts (pin = -1 means a
 // full evaluation, used by single-task rules in the opening pass).
+// ruleIdx is the rule's index within its stratum, keying per-rule
+// instrumentation.
 type ruleTask struct {
 	rule     Rule
+	ruleIdx  int
 	pin      int
 	pinFacts []fact.Fact
 }
@@ -66,13 +71,13 @@ func chunkFacts(facts []fact.Fact, workers int) [][]fact.Fact {
 // single unpinned task.
 func fullPassTasks(rules []Rule, x *IndexedInstance, workers int) []ruleTask {
 	tasks := make([]ruleTask, 0, len(rules))
-	for _, r := range rules {
+	for i, r := range rules {
 		if workers <= 1 || len(r.Pos) == 0 {
-			tasks = append(tasks, ruleTask{rule: r, pin: -1})
+			tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: -1})
 			continue
 		}
 		for _, chunk := range chunkFacts(x.idx.byRel[r.Pos[0].Rel], workers) {
-			tasks = append(tasks, ruleTask{rule: r, pin: 0, pinFacts: chunk})
+			tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: 0, pinFacts: chunk})
 		}
 	}
 	return tasks
@@ -83,18 +88,18 @@ func fullPassTasks(rules []Rule, x *IndexedInstance, workers int) []ruleTask {
 // is pinned to the delta (chunked across the pool when parallel).
 func deltaTasks(rules []Rule, deltaByRel map[string][]fact.Fact, workers int) []ruleTask {
 	var tasks []ruleTask
-	for _, r := range rules {
+	for i, r := range rules {
 		for k := range r.Pos {
 			dfacts := deltaByRel[r.Pos[k].Rel]
 			if len(dfacts) == 0 {
 				continue
 			}
 			if workers <= 1 {
-				tasks = append(tasks, ruleTask{rule: r, pin: k, pinFacts: dfacts})
+				tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: k, pinFacts: dfacts})
 				continue
 			}
 			for _, chunk := range chunkFacts(dfacts, workers) {
-				tasks = append(tasks, ruleTask{rule: r, pin: k, pinFacts: chunk})
+				tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: k, pinFacts: chunk})
 			}
 		}
 	}
@@ -105,19 +110,51 @@ func deltaTasks(rules []Rule, deltaByRel map[string][]fact.Fact, workers int) []
 // returns the newly derived facts (those not already in x). With
 // workers <= 1 the tasks run inline; otherwise they are distributed
 // over a pool and the per-worker buffers are merged at the barrier.
-func runRound(tasks []ruleTask, x *IndexedInstance, workers int) (*fact.Instance, error) {
+//
+// Instrumentation (eo non-nil) accumulates per-task stats into
+// worker-private roundAggs merged at the barrier; "derived" and
+// "duplicates" are judged against the frozen x only, so the counts are
+// identical in inline and pooled execution.
+func runRound(tasks []ruleTask, x *IndexedInstance, workers int, mode EvalMode, eo *engineObs) (*fact.Instance, error) {
+	var stopRound func()
+	if eo != nil {
+		stopRound = eo.reg.Span(obs.DlRoundNs)
+	}
 	derived := fact.NewInstance()
 	if workers <= 1 || len(tasks) <= 1 {
+		var agg *roundAgg
+		if eo != nil {
+			agg = eo.newRoundAgg()
+		}
 		for _, t := range tasks {
-			err := evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, func(h fact.Fact) error {
-				if !x.Has(h) {
-					derived.Add(h)
-				}
-				return nil
-			})
+			var err error
+			if agg == nil {
+				err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, nil, func(h fact.Fact) error {
+					if !x.Has(h) {
+						derived.Add(h)
+					}
+					return nil
+				})
+			} else {
+				var ts taskStats
+				err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, &ts.candidates, func(h fact.Fact) error {
+					if !x.Has(h) {
+						ts.derived++
+						derived.Add(h)
+					} else {
+						ts.duplicates++
+					}
+					return nil
+				})
+				agg.addTask(t.ruleIdx, ts)
+			}
 			if err != nil {
 				return nil, err
 			}
+		}
+		if eo != nil {
+			eo.roundDone(mode, len(tasks), agg, derived, nil, nil)
+			stopRound()
 		}
 		return derived, nil
 	}
@@ -128,6 +165,13 @@ func runRound(tasks []ruleTask, x *IndexedInstance, workers int) (*fact.Instance
 	taskCh := make(chan ruleTask)
 	bufs := make([]*fact.Instance, workers)
 	errs := make([]error, workers)
+	var aggs []*roundAgg
+	var workerTasks, workerBusy []int64
+	if eo != nil {
+		aggs = make([]*roundAgg, workers)
+		workerTasks = make([]int64, workers)
+		workerBusy = make([]int64, workers)
+	}
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -136,16 +180,39 @@ func runRound(tasks []ruleTask, x *IndexedInstance, workers int) (*fact.Instance
 			defer wg.Done()
 			buf := fact.NewInstance()
 			bufs[w] = buf
+			var agg *roundAgg
+			if eo != nil {
+				agg = eo.newRoundAgg()
+				aggs[w] = agg
+			}
 			for t := range taskCh {
 				if failed.Load() {
 					continue // drain remaining tasks after a failure
 				}
-				err := evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, func(h fact.Fact) error {
-					if !x.Has(h) {
-						buf.Add(h)
-					}
-					return nil
-				})
+				var err error
+				if agg == nil {
+					err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, nil, func(h fact.Fact) error {
+						if !x.Has(h) {
+							buf.Add(h)
+						}
+						return nil
+					})
+				} else {
+					start := time.Now()
+					var ts taskStats
+					err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, &ts.candidates, func(h fact.Fact) error {
+						if !x.Has(h) {
+							ts.derived++
+							buf.Add(h)
+						} else {
+							ts.duplicates++
+						}
+						return nil
+					})
+					agg.addTask(t.ruleIdx, ts)
+					workerTasks[w]++
+					workerBusy[w] += time.Since(start).Nanoseconds()
+				}
 				if err != nil {
 					errs[w] = err
 					failed.Store(true)
@@ -166,6 +233,14 @@ func runRound(tasks []ruleTask, x *IndexedInstance, workers int) (*fact.Instance
 	}
 	for _, buf := range bufs {
 		derived.AddAll(buf)
+	}
+	if eo != nil {
+		agg := eo.newRoundAgg()
+		for _, a := range aggs {
+			agg.merge(a)
+		}
+		eo.roundDone(mode, len(tasks), agg, derived, workerTasks, workerBusy)
+		stopRound()
 	}
 	return derived, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // This file implements syntactic stratification and the stratified
@@ -152,12 +153,19 @@ func (p *Program) EvalStratified(input *fact.Instance, opts FixpointOptions) (*f
 	}
 	// One IndexedInstance accumulates across all strata: each stratum's
 	// fixpoint extends the same index instead of re-indexing its input.
+	eo := newEngineObs(opts)
+	stop := opts.Reg.Span(obs.DlFixpointNs)
 	x := IndexInstance(input.Clone())
-	for _, stratum := range p.Strata(rho) {
-		if err := evalStratum(stratum, x, opts); err != nil {
+	strata := p.Strata(rho)
+	for i, stratum := range strata {
+		eo.beginStratum(i+1, stratum)
+		if err := evalStratum(stratum, x, opts, eo); err != nil {
 			return nil, err
 		}
+		eo.endStratum(x)
 	}
+	eo.endFixpoint(len(strata), x)
+	stop()
 	return x.Instance(), nil
 }
 

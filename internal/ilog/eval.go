@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // This file evaluates ILOG¬ programs under the stratified semantics:
@@ -30,6 +31,12 @@ type Options struct {
 	// deterministic function of the valuation, so the output is
 	// identical at any worker count.
 	Workers int
+	// Reg, when non-nil, receives evaluator metrics (the ilog.*
+	// vocabulary of internal/obs names.go).
+	Reg *obs.Registry
+	// Sink, when non-nil, receives the deterministic round/stratum
+	// event stream. Leaving both nil keeps the disabled fast path.
+	Sink *obs.Sink
 }
 
 // Default evaluation bounds.
@@ -166,21 +173,33 @@ func (p *Program) Eval(input *fact.Instance, opts Options) (*fact.Instance, erro
 	// One incrementally-maintained index is shared by every round of
 	// every stratum; rebuilding it per valuation call made the
 	// evaluator quadratic in the number of rounds.
+	stop := opts.Reg.Span(obs.IlogEvalNs)
 	x := datalog.IndexInstance(input.Clone())
-	for _, stratum := range p.strata(rho) {
-		if err := fixpoint(stratum, x, opts); err != nil {
+	for i, stratum := range p.strata(rho) {
+		if err := fixpoint(stratum, x, opts, i+1); err != nil {
 			return nil, err
 		}
 	}
+	opts.Reg.Gauge(obs.IlogFacts).Set(int64(x.Len()))
+	stop()
 	return x.Instance(), nil
 }
 
-func fixpoint(rules []Rule, x *datalog.IndexedInstance, opts Options) error {
+// pendingFact is one head fact awaiting the round barrier, tagged with
+// whether its rule invents (for the ilog.invented counter).
+type pendingFact struct {
+	f       fact.Fact
+	invents bool
+}
+
+func fixpoint(rules []Rule, x *datalog.IndexedInstance, opts Options, stratum int) error {
+	instrumented := opts.Reg != nil || opts.Sink != nil
+	var sDerived, sInvented int64
 	for round := 0; ; round++ {
 		if round >= opts.rounds() {
 			return ErrDiverged
 		}
-		var derived []fact.Fact
+		var derived []pendingFact
 		for _, r := range rules {
 			d := r.asDatalogRule()
 			// For invention rules with no head variables the dummy
@@ -195,7 +214,7 @@ func fixpoint(rules []Rule, x *datalog.IndexedInstance, opts Options) error {
 					return err
 				}
 				if !x.Has(h) {
-					derived = append(derived, h)
+					derived = append(derived, pendingFact{h, rr.Invents})
 				}
 				return nil
 			}
@@ -210,15 +229,42 @@ func fixpoint(rules []Rule, x *datalog.IndexedInstance, opts Options) error {
 			}
 		}
 		changed := false
-		for _, h := range derived {
-			if x.Add(h) {
+		var rDerived, rInvented int64
+		for _, p := range derived {
+			if x.Add(p.f) {
 				changed = true
+				rDerived++
+				if p.invents {
+					rInvented++
+				}
+			}
+		}
+		if instrumented {
+			sDerived += rDerived
+			sInvented += rInvented
+			opts.Reg.Counter(obs.IlogRounds).Inc()
+			opts.Reg.Counter(obs.IlogDerivations).Add(rDerived)
+			opts.Reg.Counter(obs.IlogInvented).Add(rInvented)
+			if opts.Sink != nil {
+				opts.Sink.Emit(obs.EvIlogRound,
+					obs.F("stratum", stratum),
+					obs.F("round", round),
+					obs.F("derived", rDerived),
+					obs.F("invented", rInvented),
+					obs.F("facts", x.Len()))
 			}
 		}
 		if x.Len() > opts.facts() {
 			return ErrDiverged
 		}
 		if !changed {
+			if opts.Sink != nil {
+				opts.Sink.Emit(obs.EvIlogStratum,
+					obs.F("stratum", stratum),
+					obs.F("rounds", round+1),
+					obs.F("derived", sDerived),
+					obs.F("invented", sInvented))
+			}
 			return nil
 		}
 	}

@@ -1,0 +1,123 @@
+package obs
+
+// This file is the single counter and event vocabulary for the whole
+// repository (DESIGN.md §8 is the prose companion). Every package
+// instruments itself under its own prefix; nothing else may invent
+// metric or event names. Names are dotted, lower_snake within a
+// segment, and suffixed _ns for wall-clock histograms (which never
+// appear in event streams — see the package comment).
+
+// Datalog engine metrics (internal/datalog).
+const (
+	// DlRounds counts fixpoint rounds (every runRound call, including
+	// the final empty-delta confirmation pass).
+	DlRounds = "dl.rounds"
+	// DlStrata counts strata evaluated.
+	DlStrata = "dl.strata"
+	// DlDerivations counts head facts emitted that were new to the
+	// instance at emission time (pre-merge, per-task judgement).
+	DlDerivations = "dl.derivations"
+	// DlDuplicates counts emitted head facts suppressed because the
+	// fact already existed — the duplicate-suppression work rate.
+	DlDuplicates = "dl.duplicates"
+	// DlCandidates counts join candidate facts iterated by the matcher.
+	DlCandidates = "dl.candidates"
+	// DlDeltaFacts counts facts entering a round delta (post-merge).
+	DlDeltaFacts = "dl.delta_facts"
+	// DlTasks counts (rule, pinned-chunk) evaluation tasks executed.
+	DlTasks = "dl.tasks"
+	// DlWorkers is the configured worker-pool size (gauge).
+	DlWorkers = "dl.workers"
+	// DlWorkerTasksPrefix + "<w>" counts tasks executed by worker w —
+	// compare across workers for pool utilization (Registry plane only:
+	// the task distribution is scheduling-dependent).
+	DlWorkerTasksPrefix = "dl.worker_tasks."
+	// DlFixpointNs / DlRoundNs / DlWorkerBusyNs are wall-clock span
+	// histograms (nanoseconds).
+	DlFixpointNs   = "dl.fixpoint_ns"
+	DlRoundNs      = "dl.round_ns"
+	DlWorkerBusyNs = "dl.worker_busy_ns"
+	// DlRulePrefix namespaces per-rule counters:
+	// dl.rule.s<stratum>.r<index>.<head>.{derivations,duplicates,candidates}.
+	DlRulePrefix = "dl.rule."
+)
+
+// ILOG¬ evaluator metrics (internal/ilog).
+const (
+	IlogRounds = "ilog.rounds"
+	// IlogDerivations counts facts added across all rounds.
+	IlogDerivations = "ilog.derivations"
+	// IlogInvented counts added facts carrying a fresh Skolem value
+	// (each invention fact introduces exactly one).
+	IlogInvented = "ilog.invented"
+	// IlogFacts is the final instance size (gauge).
+	IlogFacts  = "ilog.facts"
+	IlogEvalNs = "ilog.eval_ns"
+)
+
+// Transducer simulation metrics (internal/transducer, the Metrics
+// struct published fact-for-fact under these names).
+const (
+	SimTransitions    = "sim.transitions"
+	SimHeartbeats     = "sim.heartbeats"
+	SimSent           = "sim.messages_sent"
+	SimDelivered      = "sim.messages_delivered"
+	SimDuplicated     = "sim.messages_duplicated"
+	SimDelayed        = "sim.messages_delayed"
+	SimDropped        = "sim.messages_dropped"
+	SimRetransmitted  = "sim.messages_retransmitted"
+	SimCrashes        = "sim.crashes"
+	SimStalledSteps   = "sim.stalled_steps"
+	SimQuiescenceTick = "sim.quiescence_tick" // gauge: clock at quiescence
+)
+
+// Schedule explorer metrics (internal/transducer ExploreStats).
+const (
+	ExploreSchedules   = "explore.schedules"
+	ExploreAborted     = "explore.aborted"
+	ExploreTransitions = "explore.transitions"
+	ExploreViolations  = "explore.violations"
+)
+
+// Event kinds. Each kind's field set is fixed at its single emission
+// site and recorded by the golden traces under the emitting package's
+// testdata directory.
+const (
+	// EvDlRound: stratum, round, mode, tasks, candidates, derived,
+	// duplicates, delta.
+	EvDlRound = "dl.round"
+	// EvDlStratum: stratum, rules, rounds, derived, facts.
+	EvDlStratum = "dl.stratum"
+	// EvDlFixpoint: strata, facts.
+	EvDlFixpoint = "dl.fixpoint"
+
+	// EvIlogRound: stratum, round, derived, invented, facts.
+	EvIlogRound = "ilog.round"
+	// EvIlogStratum: stratum, rounds, derived, invented.
+	EvIlogStratum = "ilog.stratum"
+
+	// EvTransition: step, clock, node, kind, delivered, sent, changed,
+	// out, buffered, held, msgs.
+	EvTransition = "sim.transition"
+	// EvStall: step, clock, node.
+	EvStall = "sim.stall"
+	// EvCrash: step, clock, node, dropped, rebuffered.
+	EvCrash = "sim.crash"
+	// EvHold: clock, from, to, fact, copies, release.
+	EvHold = "sim.hold"
+	// EvQuiesce: clock, rounds, out.
+	EvQuiesce = "sim.quiesce"
+
+	// EvSchedule: label, transitions, sent, delivered, aborted.
+	EvSchedule = "explore.schedule"
+	// EvViolation: kind, schedule, step, bad, output, want.
+	EvViolation = "explore.violation"
+)
+
+// EventKinds lists every event kind, for schema-coverage tests.
+var EventKinds = []string{
+	EvDlRound, EvDlStratum, EvDlFixpoint,
+	EvIlogRound, EvIlogStratum,
+	EvTransition, EvStall, EvCrash, EvHold, EvQuiesce,
+	EvSchedule, EvViolation,
+}

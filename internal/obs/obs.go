@@ -1,0 +1,298 @@
+// Package obs is the repository-wide instrumentation substrate:
+// counters, gauges, histograms and span timers collected in a
+// Registry, plus a structured event Sink (sink.go) that renders typed
+// events as JSONL. It has no dependencies outside the standard
+// library and, crucially, a nil fast path: every method is a no-op on
+// a nil receiver, so disabled instrumentation costs one predictable
+// branch per call site (gated by the BenchmarkDisabledOverhead check
+// in scripts/check.sh). Engines hold possibly-nil handles and never
+// need an "is instrumentation on?" flag.
+//
+// Two observability planes with different determinism contracts:
+//
+//   - Events (Sink) are part of a run's observable record: for a fixed
+//     seed they must be byte-identical across runs and across worker
+//     counts. Events therefore never carry wall-clock times or
+//     scheduling-dependent values.
+//   - Metrics (Registry) are aggregates for humans and dashboards:
+//     span timers and worker-utilization counters live here, and the
+//     snapshot is allowed to vary run to run.
+//
+// The canonical metric and event names shared by all packages are in
+// names.go and documented in DESIGN.md §8.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter ignores all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. No-op on a nil counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins atomic gauge. A nil *Gauge ignores all
+// updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger (a high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates an int64 distribution: count, sum, min, max.
+// Observations are cheap (one mutex, four updates); percentile sketches
+// are deliberately out of scope for a reproduction harness. A nil
+// *Histogram ignores all observations.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the JSON-marshalable summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / h.count
+	}
+	return s
+}
+
+// Registry names and owns a process's metrics. Instruments are created
+// on first use and shared afterwards; all methods are safe for
+// concurrent use. A nil *Registry hands out nil instruments, which in
+// turn ignore all updates — the disabled fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+var nopStop = func() {}
+
+// Span starts a wall-clock span timer; the returned stop function
+// records the elapsed nanoseconds into the named histogram. Use as
+//
+//	defer reg.Span(obs.DlFixpointNs)()
+//
+// On a nil registry the returned function does nothing and no clock is
+// read. Span durations live only in the Registry plane — never emit
+// them as events, or same-seed event streams stop being
+// byte-identical.
+func (r *Registry) Span(name string) func() {
+	if r == nil {
+		return nopStop
+	}
+	h := r.Histogram(name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Nanoseconds()) }
+}
+
+// Snapshot is a point-in-time copy of a registry, marshalable with
+// encoding/json (map keys are emitted in sorted order, so the JSON is
+// deterministic for deterministic values).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for k, g := range gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Safe on a
+// nil registry (writes an empty snapshot).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

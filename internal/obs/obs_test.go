@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3) // lower: ignored
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after SetMax = %d, want 11", got)
+	}
+
+	h := r.Histogram("h")
+	for _, v := range []int64{4, 2, 9} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	want := HistogramSnapshot{Count: 3, Sum: 15, Min: 2, Max: 9, Mean: 5}
+	if snap != want {
+		t.Fatalf("histogram snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	var s *Sink
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(9)
+	s.Emit("ev", F("k", 1))
+	r.Span("span")()
+	if c.Value() != 0 || g.Value() != 0 || s.Events() != 0 || s.Err() != nil {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || r.CounterNames() != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Span("work_ns")
+	stop()
+	snap := r.Snapshot().Histograms["work_ns"]
+	if snap.Count != 1 || snap.Sum < 0 {
+		t.Fatalf("span did not record: %+v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("peak").SetMax(int64(i))
+				r.Histogram("dist").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestWriteJSONDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(3)
+	var s1, s2 strings.Builder
+	if err := r.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("registry JSON is not deterministic")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(s1.String()), &snap); err != nil {
+		t.Fatalf("registry JSON invalid: %v\n%s", err, s1.String())
+	}
+	if snap.Counters["a.one"] != 1 || snap.Counters["b.two"] != 2 || snap.Gauges["g"] != 5 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", snap)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a.one" || names[1] != "b.two" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}

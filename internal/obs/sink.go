@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Field is one ordered key/value pair of an event. Field order is part
+// of the trace format: renderers emit fields in the order given, so a
+// fixed emission site produces a byte-stable line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one typed trace record: a kind (see the Ev* constants in
+// names.go) plus ordered fields.
+type Event struct {
+	Kind   string
+	Fields []Field
+}
+
+// Get returns the value of the named field.
+func (e *Event) Get(key string) (any, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Int returns the named field as an int64 (0 when absent or not an
+// integer type).
+func (e *Event) Int(key string) int64 {
+	v, _ := e.Get(key)
+	switch n := v.(type) {
+	case int:
+		return int64(n)
+	case int64:
+		return n
+	case uint64:
+		return int64(n)
+	}
+	return 0
+}
+
+// Str returns the named field as a string ("" when absent; Stringers
+// are rendered).
+func (e *Event) Str(key string) string {
+	v, ok := e.Get(key)
+	if !ok {
+		return ""
+	}
+	switch s := v.(type) {
+	case string:
+		return s
+	case fmt.Stringer:
+		return s.String()
+	}
+	return fmt.Sprint(v)
+}
+
+// Bool returns the named field as a bool (false when absent).
+func (e *Event) Bool(key string) bool {
+	v, _ := e.Get(key)
+	b, _ := v.(bool)
+	return b
+}
+
+// RenderFunc appends a rendering of the event to buf and returns the
+// extended buffer. Returning buf unchanged drops the event (how the
+// legacy text adapter skips structured-only kinds).
+type RenderFunc func(buf []byte, e *Event) []byte
+
+// Sink serializes events to a writer through a render function —
+// JSONL by default. All methods are safe for concurrent use and no-ops
+// on a nil *Sink, so holders guard hot paths with a plain nil check:
+//
+//	if s.sink != nil { s.sink.Emit(...) }
+//
+// The guard matters: building the variadic field list costs
+// allocations even when the sink would discard the event.
+type Sink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	render RenderFunc
+	buf    []byte
+	events uint64
+	err    error
+}
+
+// NewSink returns a sink rendering events as JSONL, one object per
+// line: {"ev":"<kind>","<key>":<value>,...}.
+func NewSink(w io.Writer) *Sink { return NewSinkFunc(w, AppendJSONL) }
+
+// NewSinkFunc returns a sink with a custom renderer.
+func NewSinkFunc(w io.Writer, render RenderFunc) *Sink {
+	return &Sink{w: w, render: render}
+}
+
+// Emit renders and writes one event. No-op on a nil sink. The first
+// write error latches (see Err) and later events are dropped.
+func (s *Sink) Emit(kind string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.EmitEvent(&Event{Kind: kind, Fields: fields})
+}
+
+// EmitEvent is Emit for a prebuilt event.
+func (s *Sink) EmitEvent(e *Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.events++
+	s.buf = s.render(s.buf[:0], e)
+	if len(s.buf) == 0 {
+		return
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Events returns the number of events emitted (including any dropped
+// by the renderer; 0 on a nil sink).
+func (s *Sink) Events() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Err returns the first write error, if any.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// AppendJSONL is the default renderer: one compact JSON object per
+// event, fields in emission order, terminated by a newline. Rendering
+// is hand-rolled (rather than encoding/json) precisely to preserve
+// field order — byte-identical traces for equal seeds are a tested
+// contract.
+func AppendJSONL(buf []byte, e *Event) []byte {
+	buf = append(buf, `{"ev":`...)
+	buf = appendJSONString(buf, e.Kind)
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, f.Value)
+	}
+	return append(buf, '}', '\n')
+}
+
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case string:
+		return appendJSONString(buf, x)
+	case fmt.Stringer:
+		return appendJSONString(buf, x.String())
+	default:
+		return appendJSONString(buf, fmt.Sprint(x))
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Control
+// characters, quotes and backslashes are escaped; valid UTF-8 passes
+// through raw (JSON permits it), and invalid bytes are escaped so the
+// output is always well-formed.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"' || c == '\\':
+				buf = append(buf, '\\', c)
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c < 0x20:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				buf = append(buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

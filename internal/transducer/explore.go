@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // This file implements a small exhaustive run explorer: a
@@ -177,14 +178,42 @@ type ExploreOptions struct {
 	// schedule families, leaving only the seed sweep.
 	SkipStarvation bool
 	SkipAdversary  bool
+	// Sink, when non-nil, receives one explore.schedule event per
+	// schedule run (and an explore.violation event when a schedule
+	// breaks the property). Per-transition simulation events are not
+	// attached here — wire a sink to an individual Simulation for that.
+	Sink *obs.Sink
 }
 
-// ExploreStats reports how much was explored.
+// ExploreStats reports how much was explored. Every schedule counts,
+// including the one cut short by the first violation — partially
+// explored schedules contribute their transitions and message flows.
 type ExploreStats struct {
-	// Schedules is the number of complete schedules run.
+	// Schedules is the number of schedules run (complete or aborted).
 	Schedules int
-	// Transitions is the total number of transitions across them.
+	// Aborted counts schedules cut short by a violation or an error.
+	Aborted int
+	// Violations counts schedules that broke the property (at most 1,
+	// since exploration stops at the first violation).
+	Violations int
+	// Transitions is the total number of transitions across all
+	// schedules, including partially-explored ones.
 	Transitions int
+	// Sim folds every explored schedule's simulation Metrics into one
+	// total, so message flows (sent, delivered, dropped, ...) are
+	// reported in the same vocabulary as single runs.
+	Sim Metrics
+}
+
+// Publish adds the stats into the registry under the explore.* (and,
+// via Sim, the sim.*) vocabulary of internal/obs names.go. Safe on a
+// nil registry.
+func (st ExploreStats) Publish(reg *obs.Registry) {
+	reg.Counter(obs.ExploreSchedules).Add(int64(st.Schedules))
+	reg.Counter(obs.ExploreAborted).Add(int64(st.Aborted))
+	reg.Counter(obs.ExploreViolations).Add(int64(st.Violations))
+	reg.Counter(obs.ExploreTransitions).Add(int64(st.Transitions))
+	st.Sim.Publish(reg)
 }
 
 // ExploreSchedules searches the schedule space of (net, t, pol, mod)
@@ -206,8 +235,9 @@ func ExploreSchedules(net Network, t *Transducer, pol Policy, mod Model, input, 
 	e := &explorer{net: net, t: t, pol: pol, mod: mod, input: input, want: want, opts: opts}
 
 	run := func(f func() (*ScheduleViolation, error)) (*ScheduleViolation, error) {
+		e.current = nil
 		v, err := f()
-		e.stats.Schedules++
+		e.record(v, err)
 		return v, err
 	}
 
@@ -253,6 +283,11 @@ type explorer struct {
 	want  *fact.Instance
 	opts  ExploreOptions
 	stats ExploreStats
+	// current is the schedule being run, registered by newRun so the
+	// run wrapper can account for it even when the runner bails out
+	// before reaching finish — the old per-finish accounting silently
+	// undercounted schedules aborted by an early violation.
+	current *scheduleRun
 }
 
 func (e *explorer) newRun(label string) (*scheduleRun, error) {
@@ -260,7 +295,51 @@ func (e *explorer) newRun(label string) (*scheduleRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &scheduleRun{e: e, sim: sim, label: label}, nil
+	r := &scheduleRun{e: e, sim: sim, label: label}
+	e.current = r
+	return r, nil
+}
+
+// record folds one schedule's outcome into the stats and emits the
+// schedule-level events. Called once per schedule by the run wrapper,
+// whether the schedule completed, violated, or errored.
+func (e *explorer) record(v *ScheduleViolation, err error) {
+	e.stats.Schedules++
+	r := e.current
+	if r == nil {
+		return
+	}
+	m := r.sim.Metrics
+	e.stats.Transitions += m.Transitions
+	e.stats.Sim.Merge(m)
+	aborted := v != nil || err != nil
+	if aborted {
+		e.stats.Aborted++
+	}
+	if v != nil {
+		e.stats.Violations++
+	}
+	if sink := e.opts.Sink; sink != nil {
+		sink.Emit(obs.EvSchedule,
+			obs.F("label", r.label),
+			obs.F("transitions", m.Transitions),
+			obs.F("sent", m.MessagesSent),
+			obs.F("delivered", m.MessagesDelivered),
+			obs.F("aborted", aborted))
+		if v != nil {
+			bad := ""
+			if v.Bad != nil {
+				bad = v.Bad.String()
+			}
+			sink.Emit(obs.EvViolation,
+				obs.F("kind", v.Kind.String()),
+				obs.F("schedule", v.Schedule),
+				obs.F("step", v.Step),
+				obs.F("bad", bad),
+				obs.F("output", v.Output.Len()),
+				obs.F("want", v.Want.Len()))
+		}
+	}
 }
 
 // scheduleRun wraps one simulation with per-step soundness checking.
@@ -299,7 +378,6 @@ func (r *scheduleRun) checkSound() *ScheduleViolation {
 // step) and verifies the final output equals want. extraRounds widens
 // the bound for runs whose fault plan has a late horizon.
 func (r *scheduleRun) finish(extraRounds int) (*ScheduleViolation, error) {
-	defer func() { r.e.stats.Transitions += r.sim.Metrics.Transitions }()
 	maxRounds := r.e.opts.MaxRounds + extraRounds
 	for round := 0; round < maxRounds; round++ {
 		anyChanged := false

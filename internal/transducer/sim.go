@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // multiset is a message buffer: facts with multiplicities
@@ -130,6 +131,37 @@ type Metrics struct {
 	StalledSteps int
 }
 
+// Merge adds o's counters into m, field by field. The schedule
+// explorer folds every explored schedule's Metrics into one total this
+// way.
+func (m *Metrics) Merge(o Metrics) {
+	m.Transitions += o.Transitions
+	m.Heartbeats += o.Heartbeats
+	m.MessagesSent += o.MessagesSent
+	m.MessagesDelivered += o.MessagesDelivered
+	m.MessagesDuplicated += o.MessagesDuplicated
+	m.MessagesDelayed += o.MessagesDelayed
+	m.MessagesDropped += o.MessagesDropped
+	m.MessagesRetransmitted += o.MessagesRetransmitted
+	m.Crashes += o.Crashes
+	m.StalledSteps += o.StalledSteps
+}
+
+// Publish adds the counters into the registry under the sim.*
+// vocabulary of internal/obs names.go. Safe on a nil registry.
+func (m Metrics) Publish(reg *obs.Registry) {
+	reg.Counter(obs.SimTransitions).Add(int64(m.Transitions))
+	reg.Counter(obs.SimHeartbeats).Add(int64(m.Heartbeats))
+	reg.Counter(obs.SimSent).Add(int64(m.MessagesSent))
+	reg.Counter(obs.SimDelivered).Add(int64(m.MessagesDelivered))
+	reg.Counter(obs.SimDuplicated).Add(int64(m.MessagesDuplicated))
+	reg.Counter(obs.SimDelayed).Add(int64(m.MessagesDelayed))
+	reg.Counter(obs.SimDropped).Add(int64(m.MessagesDropped))
+	reg.Counter(obs.SimRetransmitted).Add(int64(m.MessagesRetransmitted))
+	reg.Counter(obs.SimCrashes).Add(int64(m.Crashes))
+	reg.Counter(obs.SimStalledSteps).Add(int64(m.StalledSteps))
+}
+
 // heldMsg is a message instance the fault plan is holding back: it
 // enters the recipient's buffer once the clock reaches release.
 type heldMsg struct {
@@ -165,14 +197,32 @@ type Simulation struct {
 	// Metrics accumulates counters; reset freely between phases.
 	Metrics Metrics
 
-	// trace, when set, receives a line per transition.
-	trace io.Writer
+	// sink, when set, receives one typed event per transition, stall,
+	// crash, hold and quiescence (the sim.* kinds of internal/obs).
+	sink *obs.Sink
 }
+
+// Observe attaches a structured event sink to the simulation: every
+// transition, stall, crash, message hold and quiescence emits one
+// typed event (the sim.* kinds of internal/obs names.go). Events are a
+// deterministic function of the schedule, so equal-seed runs produce
+// byte-identical streams. Pass nil to disable.
+func (s *Simulation) Observe(sink *obs.Sink) { s.sink = sink }
 
 // TraceTo makes the simulation log one line per transition to w:
 // the active node, how many message instances were delivered, whether
 // the state changed, and the node's output size. Pass nil to disable.
-func (s *Simulation) TraceTo(w io.Writer) { s.trace = w }
+//
+// TraceTo is the compatibility adapter over Observe: the same typed
+// events, rendered through the legacy text format (structured-only
+// kinds are dropped).
+func (s *Simulation) TraceTo(w io.Writer) {
+	if w == nil {
+		s.sink = nil
+		return
+	}
+	s.sink = obs.NewSinkFunc(w, legacyTraceRender)
+}
 
 // NewSimulation validates the components and builds the start
 // configuration (all states and buffers empty).
@@ -317,8 +367,11 @@ func (s *Simulation) begin(x NodeID) (stalled bool) {
 	s.releaseHeld()
 	if s.faults.StalledAt(x, s.clock) {
 		s.Metrics.StalledSteps++
-		if s.trace != nil {
-			fmt.Fprintf(s.trace, "[%04d] stalled   at %-4s (window pending)\n", s.Metrics.Transitions, x)
+		if s.sink != nil {
+			s.sink.Emit(obs.EvStall,
+				obs.F("step", s.Metrics.Transitions),
+				obs.F("clock", s.clock),
+				obs.F("node", string(x)))
 		}
 		return true
 	}
@@ -375,9 +428,13 @@ func (s *Simulation) crash(x NodeID) {
 		}
 	}
 	s.Metrics.Crashes++
-	if s.trace != nil {
-		fmt.Fprintf(s.trace, "[%04d] crash     at %-4s dropped=%d rebuffered=%d\n",
-			s.Metrics.Transitions, x, dropped, s.buf[x].size())
+	if s.sink != nil {
+		s.sink.Emit(obs.EvCrash,
+			obs.F("step", s.Metrics.Transitions),
+			obs.F("clock", s.clock),
+			obs.F("node", string(x)),
+			obs.F("dropped", dropped),
+			obs.F("rebuffered", s.buf[x].size()))
 	}
 }
 
@@ -395,6 +452,15 @@ func (s *Simulation) send(from, to NodeID, f fact.Fact) {
 	if delay > 0 {
 		s.held[to] = append(s.held[to], heldMsg{release: s.clock + delay, f: f, n: copies})
 		s.Metrics.MessagesDelayed += copies
+		if s.sink != nil {
+			s.sink.Emit(obs.EvHold,
+				obs.F("clock", s.clock),
+				obs.F("from", string(from)),
+				obs.F("to", string(to)),
+				obs.F("fact", f),
+				obs.F("copies", copies),
+				obs.F("release", s.clock+delay))
+		}
 	} else {
 		s.buf[to].add(f, copies)
 	}
@@ -514,17 +580,30 @@ func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err e
 	if m.Empty() {
 		s.Metrics.Heartbeats++
 	}
-	if s.trace != nil {
+	if s.sink != nil {
 		kind := "deliver"
 		if m.Empty() {
 			kind = "heartbeat"
 		}
-		// The delivered set is part of the line (sorted rendering) so a
+		// The delivered set is part of the event (sorted rendering) so a
 		// trace is a complete, comparable record of the run: two runs
-		// with the same seed must produce byte-identical traces.
-		fmt.Fprintf(s.trace, "[%04d] %-9s at %-4s delivered=%d sent=%d changed=%-5v out=%d msgs=%s\n",
-			s.Metrics.Transitions, kind, x, m.Len(), snd.Len(), changed,
-			s.state[x].Restrict(t.Schema.Out).Len(), m)
+		// with the same seed must produce byte-identical streams.
+		held := 0
+		for _, h := range s.held[x] {
+			held += h.n
+		}
+		s.sink.Emit(obs.EvTransition,
+			obs.F("step", s.Metrics.Transitions),
+			obs.F("clock", s.clock),
+			obs.F("node", string(x)),
+			obs.F("kind", kind),
+			obs.F("delivered", m.Len()),
+			obs.F("sent", snd.Len()),
+			obs.F("changed", changed),
+			obs.F("out", s.state[x].Restrict(t.Schema.Out).Len()),
+			obs.F("buffered", s.buf[x].size()),
+			obs.F("held", held),
+			obs.F("msgs", m.String()))
 	}
 	return changed, nil
 }
@@ -638,6 +717,12 @@ func (s *Simulation) RunToQuiescence(maxRounds int) (*fact.Instance, error) {
 			}
 		}
 		if !roundChanged && s.TotalBuffered() == 0 && s.TotalHeld() == 0 && s.faultsDone() {
+			if s.sink != nil {
+				s.sink.Emit(obs.EvQuiesce,
+					obs.F("clock", s.clock),
+					obs.F("rounds", round+1),
+					obs.F("out", s.Output().Len()))
+			}
 			return s.Output(), nil
 		}
 	}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh runs the instrumented benchmark suite and renders the
+# results as JSON: one row per benchmark carrying ns/op plus every
+# custom metric the benchmarks report (derivations/op, rounds/op,
+# msgs/run, msgs/tick, ...), so performance and work-profile changes
+# are diffable in review. The committed BENCH_PR4.json was produced by
+#
+#	scripts/bench.sh BENCH_PR4.json
+#
+# Usage: scripts/bench.sh [out.json]   (default: stdout)
+# Env:   BENCHTIME  per-benchmark time or count (default 0.5s)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:--}"
+benchtime="${BENCHTIME:-0.5s}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkNaiveVsSemiNaive|BenchmarkParallelTC|BenchmarkStrategyMessages|BenchmarkNetworkScaling|BenchmarkInputScaling' \
+    -benchtime "$benchtime" . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkDisabledOverhead|BenchmarkEnabled' \
+    -benchtime "$benchtime" ./internal/obs/ >>"$tmp"
+
+render() {
+    awk '
+    BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep="" }
+    /^goos: /   { goos=$2 }
+    /^goarch: / { goarch=$2 }
+    /^pkg: /    { pkg=$2 }
+    /^Benchmark/ {
+        name=$1; sub(/-[0-9]+$/, "", name)
+        printf "%s\n    {\"pkg\":\"%s\",\"name\":\"%s\",\"iters\":%s", sep, pkg, name, $2
+        for (i = 3; i < NF; i += 2) printf ",\"%s\":%s", $(i+1), $i
+        printf "}"
+        sep=","
+    }
+    END {
+        print ""
+        print "  ],"
+        printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\"\n", goos, goarch
+        print "}"
+    }
+    ' "$tmp"
+}
+
+if [ "$out" = "-" ]; then
+    render
+else
+    render >"$out"
+    echo "bench: wrote $out"
+fi

@@ -4,9 +4,10 @@
 # simulation determinism tests are the main race-sensitive surfaces).
 # The fault-injection and explorer packages additionally run twice
 # under -race (-count=2 defeats the test cache and catches
-# order-dependent state), and internal/transducer coverage is gated at
-# its pre-fault-layer baseline (84.0%) so the simulator never loses
-# test coverage as it grows.
+# order-dependent state), internal/transducer coverage is gated at its
+# pre-fault-layer baseline (84.0%), internal/obs at 80.0%, and the
+# instrumentation's disabled (nil) fast path is benchmarked against a
+# bare workload so "tracing off" stays ~free.
 # Usage: scripts/check.sh  (or: make check)
 set -eu
 
@@ -24,16 +25,41 @@ go test -race ./...
 echo ">> go test -race -count=2 ./internal/transducer/... ./internal/core/..."
 go test -race -count=2 ./internal/transducer/... ./internal/core/...
 
-echo ">> coverage gate: internal/transducer >= 84.0%"
-cov=$(go test -cover ./internal/transducer/ | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub("%", "", $i); print $i}}')
-if [ -z "$cov" ]; then
-    echo "check: FAILED to read internal/transducer coverage"
+coverage_gate() {
+    pkg="$1"
+    floor="$2"
+    echo ">> coverage gate: $pkg >= ${floor}%"
+    cov=$(go test -cover "$pkg" | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub("%", "", $i); print $i}}')
+    if [ -z "$cov" ]; then
+        echo "check: FAILED to read $pkg coverage"
+        exit 1
+    fi
+    if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
+        echo "check: $pkg coverage ${cov}% dropped below the ${floor}% baseline"
+        exit 1
+    fi
+    echo "   $pkg coverage: ${cov}%"
+}
+
+coverage_gate ./internal/transducer/ 84.0
+coverage_gate ./internal/obs/ 80.0
+
+# Disabled-instrumentation overhead gate: the nil-receiver/nil-sink
+# fast path must stay within noise of the bare workload. "disabled"
+# adds the exact call shapes the engines use per inner-loop iteration;
+# it may cost at most 1.5x baseline + 5ns.
+echo ">> disabled-overhead gate: internal/obs nil fast path"
+bench=$(go test -run '^$' -bench BenchmarkDisabledOverhead -benchtime 0.3s -count 3 ./internal/obs/)
+base=$(echo "$bench" | awk '/baseline/ { s += $3; n++ } END { if (n) print s/n }')
+disd=$(echo "$bench" | awk '/disabled/ { s += $3; n++ } END { if (n) print s/n }')
+if [ -z "$base" ] || [ -z "$disd" ]; then
+    echo "check: FAILED to read BenchmarkDisabledOverhead results"
     exit 1
 fi
-if ! awk -v c="$cov" 'BEGIN { exit !(c >= 84.0) }'; then
-    echo "check: internal/transducer coverage ${cov}% dropped below the 84.0% baseline"
+if ! awk -v b="$base" -v d="$disd" 'BEGIN { exit !(d <= 1.5*b + 5) }'; then
+    echo "check: disabled instrumentation costs ${disd} ns/op vs ${base} ns/op baseline (limit 1.5x + 5ns)"
     exit 1
 fi
-echo "   internal/transducer coverage: ${cov}%"
+echo "   baseline ${base} ns/op, disabled ${disd} ns/op"
 
 echo "check: OK"
