@@ -34,6 +34,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/ilog"
+	"repro/internal/incr"
 	"repro/internal/monotone"
 	"repro/internal/queries"
 	"repro/internal/transducer"
@@ -222,4 +223,26 @@ var (
 	Compute                = core.Compute
 	ComputeRandom          = core.ComputeRandom
 	VerifyCoordinationFree = core.VerifyCoordinationFree
+)
+
+// Incremental view maintenance (internal/incr): counting-based delta
+// propagation for insertions, delete–rederive for retractions and
+// stratified negation — the paper's monotone fragments maintained
+// without recomputation. cmd/calmd serves this engine over NDJSON.
+type (
+	// Materialization is an incrementally maintained stratified fixpoint.
+	Materialization = incr.Materialization
+	// Delta is a batch of base-fact insertions and retractions.
+	Delta = incr.Delta
+	// ApplyStats reports the work one Delta application did.
+	ApplyStats = incr.ApplyStats
+	// IncrOptions configures incremental maintenance (mode, workers,
+	// instrumentation).
+	IncrOptions = incr.Options
+)
+
+// Incremental maintenance construction.
+var (
+	NewMaterialization     = incr.New
+	RestoreMaterialization = incr.Restore
 )

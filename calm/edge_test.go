@@ -1,0 +1,151 @@
+package calm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/calm"
+)
+
+// Edge cases of the public facade: empty inputs, set-semantics
+// idempotence, and degenerate (single-node) networks.
+
+func TestEmptyInstance(t *testing.T) {
+	empty := calm.NewInstance()
+	if !empty.Empty() || empty.Len() != 0 {
+		t.Fatalf("NewInstance() not empty: %v", empty)
+	}
+
+	// Central evaluation of TC on nothing derives nothing.
+	out, err := calm.TC().Eval(empty)
+	if err != nil {
+		t.Fatalf("TC on empty instance: %v", err)
+	}
+	if !out.Empty() {
+		t.Fatalf("TC(∅) = %v, want empty", out)
+	}
+
+	// Distributed evaluation agrees.
+	net := calm.MustNetwork("n1", "n2")
+	res, err := calm.Compute(calm.Broadcast, calm.TC(), net, calm.HashPolicy(net), empty, 0)
+	if err != nil {
+		t.Fatalf("Compute on empty instance: %v", err)
+	}
+	if !res.Output.Empty() {
+		t.Fatalf("distributed TC(∅) = %v, want empty", res.Output)
+	}
+
+	// Incremental maintenance of an empty base holds an empty
+	// materialization that still accepts deltas.
+	m, err := calm.NewMaterialization(calm.MustParseProgram("T(x,y) :- E(x,y).\n"), empty, calm.IncrOptions{})
+	if err != nil {
+		t.Fatalf("NewMaterialization: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("empty materialization holds %d facts", m.Len())
+	}
+	if _, err := m.Apply(calm.Delta{Insert: []calm.Fact{calm.MustParseFact("E(a,b)")}}); err != nil {
+		t.Fatalf("Apply on empty-based materialization: %v", err)
+	}
+	if !m.Has(calm.MustParseFact("T(a,b)")) {
+		t.Fatal("T(a,b) not derived after first delta")
+	}
+}
+
+func TestDuplicateFactIdempotence(t *testing.T) {
+	i := calm.NewInstance()
+	f := calm.NewFact("E", "a", "b")
+	if !i.Add(f) {
+		t.Fatal("first Add reported not-new")
+	}
+	if i.Add(f) {
+		t.Fatal("second Add reported new")
+	}
+	if i.Len() != 1 {
+		t.Fatalf("instance has %d facts after duplicate Add, want 1", i.Len())
+	}
+
+	// Parsing tolerates duplicates the same way.
+	dup := calm.MustParseInstance(`E(a,b) E(a,b) E(a,b)`)
+	if dup.Len() != 1 {
+		t.Fatalf("parsed duplicate instance has %d facts, want 1", dup.Len())
+	}
+
+	// Equal instances regardless of how the duplicates arrived.
+	if !i.Equal(dup) {
+		t.Fatalf("%v != %v", i, dup)
+	}
+
+	// Evaluation output is unaffected by duplicated input mention.
+	a, err := calm.TC().Eval(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := calm.TC().Eval(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("TC differs across duplicate encodings: %v vs %v", a, b)
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	net := calm.MustNetwork("solo")
+	if len(net) != 1 {
+		t.Fatalf("network size %d, want 1", len(net))
+	}
+	in := calm.MustParseInstance(`E(a,b) E(b,c)`)
+	want, err := calm.TC().Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three strategies must still compute the query when there is
+	// nobody to coordinate with.
+	for _, s := range []calm.Strategy{calm.Broadcast, calm.Absence, calm.DomainRequest} {
+		res, err := calm.Compute(s, calm.TC(), net, calm.HashPolicy(net), in, 0)
+		if err != nil {
+			t.Fatalf("strategy %v on single node: %v", s, err)
+		}
+		if !res.Output.Equal(want) {
+			t.Errorf("strategy %v: single-node output %v != central %v", s, res.Output, want)
+		}
+	}
+}
+
+// TestIncrementalFacadeRoundTrip drives the incremental engine purely
+// through the facade: maintain, snapshot, restore, keep maintaining.
+func TestIncrementalFacadeRoundTrip(t *testing.T) {
+	prog := calm.MustParseProgram(`
+		T(x,y) :- E(x,y).
+		T(x,y) :- E(x,z), T(z,y).
+	`)
+	m, err := calm.NewMaterialization(prog, calm.MustParseInstance(`E(a,b) E(b,c)`), calm.IncrOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(calm.Delta{
+		Insert:  []calm.Fact{calm.MustParseFact("E(c,d)")},
+		Retract: []calm.Fact{calm.MustParseFact("E(a,b)")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has(calm.MustParseFact("T(a,c)")) || !m.Has(calm.MustParseFact("T(b,d)")) {
+		t.Fatalf("materialization wrong after mixed delta: %v", m.Instance())
+	}
+
+	var b strings.Builder
+	if err := m.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := calm.RestoreMaterialization(strings.NewReader(b.String()), calm.IncrOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Instance().Equal(m.Instance()) {
+		t.Fatalf("restored materialization differs: %v vs %v", m2.Instance(), m.Instance())
+	}
+	if err := m2.Verify(); err != nil {
+		t.Fatalf("restored Verify: %v", err)
+	}
+}

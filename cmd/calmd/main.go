@@ -1,0 +1,208 @@
+// Command calmd is a long-lived serving daemon around the incremental
+// view-maintenance engine (internal/incr): it loads a Datalog(≠)
+// program, materializes an initial instance, then accepts
+// insert/retract deltas and queries over a newline-delimited JSON
+// protocol — on stdin/stdout by default, or on a TCP socket with
+// -listen. Deltas are applied incrementally (counting for insertions
+// and non-recursive deletions, DRed for deletions through recursion or
+// stratified negation), never by recomputation. The state can be
+// snapshotted to a file at any time and a later calmd can -restore
+// from it, answering queries byte-identically to the daemon that wrote
+// the snapshot.
+//
+// Usage:
+//
+//	calmd -program tc.dl -input graph.facts
+//	calmd -restore state.snap -listen localhost:4432
+//
+// See the protocol comment in server.go for the request/response
+// shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		programPath = flag.String("program", "", "path to the Datalog¬ program (required unless -restore)")
+		inputPath   = flag.String("input", "", "path to the initial instance (default: empty instance)")
+		restorePath = flag.String("restore", "", "restore state from a calmd snapshot instead of -program/-input")
+		listenAddr  = flag.String("listen", "", "serve the protocol on this TCP address (default: stdin/stdout)")
+		mode        = flag.String("mode", "seminaive", "maintenance evaluation mode: seminaive or parallel")
+		workers     = flag.Int("workers", 0, "worker goroutines for -mode parallel (0 = GOMAXPROCS)")
+		metricsPath = flag.String("metrics", "", `write incr.* engine metrics as JSON to this file on exit ("-" = stdout)`)
+		tracePath   = flag.String("trace", "", `write structured JSONL maintenance events to this file ("-" = stdout)`)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+	startPprof(*pprofAddr)
+
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	sink, closeSink := openTrace(*tracePath)
+
+	evalMode, err := datalog.ParseEvalMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	opts := incr.Options{Mode: evalMode, Workers: *workers, Reg: reg, Sink: sink}
+
+	m, err := buildMaterialization(*programPath, *inputPath, *restorePath, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "calmd: serving %d facts at seq %d\n", m.Len(), m.Seq())
+
+	srv := newServer(m)
+	if *listenAddr == "" {
+		if err := srv.serve(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		serveTCP(srv, *listenAddr)
+	}
+	closeSink()
+	writeMetrics(reg, *metricsPath)
+}
+
+// buildMaterialization constructs the daemon state either from a
+// snapshot or from a program plus optional initial instance.
+func buildMaterialization(programPath, inputPath, restorePath string, opts incr.Options) (*incr.Materialization, error) {
+	if restorePath != "" {
+		if programPath != "" || inputPath != "" {
+			return nil, fmt.Errorf("-restore is exclusive with -program/-input (the snapshot embeds the program)")
+		}
+		f, err := os.Open(restorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return incr.Restore(f, opts)
+	}
+	if programPath == "" {
+		return nil, fmt.Errorf("-program is required unless -restore is given")
+	}
+	src, err := os.ReadFile(programPath)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := datalog.ParseProgram(string(src))
+	if err != nil {
+		return nil, err
+	}
+	input := fact.NewInstance()
+	if inputPath != "" {
+		data, err := os.ReadFile(inputPath)
+		if err != nil {
+			return nil, err
+		}
+		input, err = fact.ParseInstance(string(data))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return incr.New(prog, input, opts)
+}
+
+// serveTCP accepts connections forever; each connection gets its own
+// request loop over the shared, mutex-guarded server.
+func serveTCP(srv *server, addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "calmd: listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := srv.serve(conn, conn); err != nil {
+				fmt.Fprintf(os.Stderr, "calmd: connection: %v\n", err)
+			}
+		}()
+	}
+}
+
+// openTrace opens the JSONL event sink ("" = disabled, "-" = stdout).
+func openTrace(path string) (*obs.Sink, func()) {
+	switch path {
+	case "":
+		return nil, func() {}
+	case "-":
+		sink := obs.NewSink(os.Stdout)
+		return sink, func() { checkSink(sink) }
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	sink := obs.NewSink(f)
+	return sink, func() {
+		checkSink(sink)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func checkSink(sink *obs.Sink) {
+	if err := sink.Err(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+}
+
+// writeMetrics dumps the registry as JSON ("" = disabled, "-" = stdout).
+func writeMetrics(reg *obs.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	if path == "-" {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// startPprof serves the net/http/pprof handlers in the background.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "calmd: pprof: %v\n", err)
+		}
+	}()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "calmd: %v\n", err)
+	os.Exit(1)
+}

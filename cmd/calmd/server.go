@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/fact"
+	"repro/internal/incr"
+)
+
+// The calmd protocol is newline-delimited JSON: one request object per
+// line in, one response object per line out, in order. Requests:
+//
+//	{"op":"ping"}
+//	{"op":"insert","facts":["E(a,b)","E(b,c)"]}
+//	{"op":"retract","facts":["E(a,b)"]}
+//	{"op":"apply","insert":["E(a,b)"],"retract":["E(c,d)"]}
+//	{"op":"query","rel":"T"}
+//	{"op":"facts"}
+//	{"op":"stats"}
+//	{"op":"snapshot","path":"state.snap"}
+//
+// Responses always carry "ok"; failures carry "error" and leave the
+// materialization untouched (delta validation happens before any
+// mutation). Mutating ops report the apply stats and the new sequence
+// number. Query responses are a pure function of the materialized
+// state — no sequence numbers or timestamps — so a daemon restored
+// from a snapshot answers byte-identically to the one that wrote it.
+
+type request struct {
+	Op      string   `json:"op"`
+	Facts   []string `json:"facts,omitempty"`
+	Insert  []string `json:"insert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+	Rel     string   `json:"rel,omitempty"`
+	Path    string   `json:"path,omitempty"`
+}
+
+type applyBody struct {
+	Inserted  int `json:"inserted"`
+	Retracted int `json:"retracted"`
+	Added     int `json:"added"`
+	Removed   int `json:"removed"`
+}
+
+type statsBody struct {
+	Seq     int `json:"seq"`
+	Facts   int `json:"facts"`
+	Base    int `json:"base"`
+	Derived int `json:"derived"`
+}
+
+type response struct {
+	OK    bool       `json:"ok"`
+	Err   string     `json:"error,omitempty"`
+	Seq   int        `json:"seq,omitempty"`
+	Apply *applyBody `json:"apply,omitempty"`
+	Stats *statsBody `json:"stats,omitempty"`
+	Count *int       `json:"count,omitempty"`
+	Facts []string   `json:"facts,omitempty"`
+	Path  string     `json:"path,omitempty"`
+}
+
+// server serializes access to one materialization. Connections share
+// the server; the mutex makes each request atomic.
+type server struct {
+	mu sync.Mutex
+	m  *incr.Materialization
+}
+
+func newServer(m *incr.Materialization) *server { return &server{m: m} }
+
+func errResp(format string, args ...any) response {
+	return response{Err: fmt.Sprintf(format, args...)}
+}
+
+func parseFacts(strs []string) ([]fact.Fact, error) {
+	out := make([]fact.Fact, 0, len(strs))
+	for _, s := range strs {
+		f, err := fact.ParseFact(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func factStrings(fs []fact.Fact) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *server) handle(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case "ping":
+		return response{OK: true}
+
+	case "insert", "retract", "apply":
+		var d incr.Delta
+		var err error
+		switch req.Op {
+		case "insert":
+			d.Insert, err = parseFacts(req.Facts)
+		case "retract":
+			d.Retract, err = parseFacts(req.Facts)
+		default:
+			if d.Insert, err = parseFacts(req.Insert); err == nil {
+				d.Retract, err = parseFacts(req.Retract)
+			}
+		}
+		if err != nil {
+			return errResp("bad fact: %v", err)
+		}
+		st, err := s.m.Apply(d)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		return response{OK: true, Seq: s.m.Seq(), Apply: &applyBody{
+			Inserted:  st.BaseInserted,
+			Retracted: st.BaseRetracted,
+			Added:     st.DerivedAdded,
+			Removed:   st.DerivedRemoved,
+		}}
+
+	case "query":
+		if req.Rel == "" {
+			return errResp("query needs a rel")
+		}
+		facts := factStrings(s.m.Rel(req.Rel))
+		n := len(facts)
+		return response{OK: true, Count: &n, Facts: facts}
+
+	case "facts":
+		facts := factStrings(s.m.Instance().Facts())
+		n := len(facts)
+		return response{OK: true, Count: &n, Facts: facts}
+
+	case "stats":
+		return response{OK: true, Stats: &statsBody{
+			Seq:     s.m.Seq(),
+			Facts:   s.m.Len(),
+			Base:    s.m.Base().Len(),
+			Derived: s.m.Len() - s.m.Base().Len(),
+		}}
+
+	case "snapshot":
+		if req.Path == "" {
+			return errResp("snapshot needs a path")
+		}
+		f, err := os.Create(req.Path)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		if err := s.m.Snapshot(f); err != nil {
+			f.Close()
+			return errResp("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			return errResp("%v", err)
+		}
+		return response{OK: true, Path: req.Path}
+
+	default:
+		return errResp("unknown op %q", req.Op)
+	}
+}
+
+// serve runs the request loop until EOF. Malformed JSON produces an
+// error response and the loop continues; only I/O errors end it.
+func (s *server) serve(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = errResp("bad request: %v", err)
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,84 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+)
+
+// This file is the delta-hook surface the incremental view-maintenance
+// engine (internal/incr) is built on. The semi-naive fixpoint already
+// evaluates rules with one positive atom "pinned" to a delta; these
+// hooks export that discipline — pinned enumeration, head-bound
+// enumeration, and atom grounding — without exposing the engine's
+// internals. Everything here reads the IndexedInstance only; mutation
+// stays with Add and Remove.
+
+// Ground applies the bindings to the atom, producing a fact. Every
+// variable of the atom must be bound.
+func Ground(a Atom, b Bindings) (fact.Fact, error) {
+	return groundAtom(a, b)
+}
+
+// BindHead unifies the rule's head with the fact, returning the
+// bindings a derivation of exactly that fact must extend, and whether
+// unification succeeds (arities and constants must match, repeated
+// variables must agree). Used to enumerate or count the derivations of
+// a specific fact via MatchBound.
+func (r Rule) BindHead(f fact.Fact) (Bindings, bool) {
+	if r.Head.Rel != f.Rel() || len(r.Head.Args) != f.Arity() {
+		return Bindings(nil), false
+	}
+	b := make(Bindings, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		v := f.Arg(i)
+		if t.IsVar() {
+			if bv, ok := b[t.Var]; ok {
+				if bv != v {
+					return nil, false
+				}
+			} else {
+				b[t.Var] = v
+			}
+		} else if t.Const != v {
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+// EvalPinned enumerates every satisfying valuation of the rule whose
+// positive atom at index pin ranges over pinFacts (which need not be
+// present in the instance), with all other atoms joined against the
+// indexed instance and the guards (negation, inequalities) checked
+// against it. For each valuation emit receives the ground head and the
+// live bindings — callers needing to retain the bindings must
+// snapshot. pinFacts must not contain duplicates, or valuations are
+// enumerated once per copy.
+//
+// The instance must not be mutated while the call runs; concurrent
+// EvalPinned calls over the same instance are safe.
+func (x *IndexedInstance) EvalPinned(r Rule, pin int, pinFacts []fact.Fact, emit func(h fact.Fact, b Bindings) error) error {
+	if pin < 0 || pin >= len(r.Pos) {
+		return fmt.Errorf("datalog: EvalPinned pin %d out of range for %d positive atoms", pin, len(r.Pos))
+	}
+	if len(pinFacts) == 0 {
+		return nil
+	}
+	return matchRule(r, x.idx, x.data, pin, pinFacts, nil, func(b Bindings) error {
+		h, err := groundAtom(r.Head, b)
+		if err != nil {
+			return err
+		}
+		return emit(h, b)
+	})
+}
+
+// MatchBound enumerates every satisfying valuation of the rule that
+// extends the initial bindings (typically from BindHead), against the
+// indexed instance. The bindings passed to emit are live; snapshot to
+// retain. Counting the emissions for init = BindHead(f) counts the
+// rule's derivations of f.
+func (x *IndexedInstance) MatchBound(r Rule, init Bindings, emit func(Bindings) error) error {
+	return matchRuleFrom(r, x.idx, x.data, init, -1, nil, nil, emit)
+}

@@ -1,0 +1,200 @@
+package datalog
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+// --- delta-hook surface (Ground, BindHead, EvalPinned, MatchBound) ---
+
+func TestGround(t *testing.T) {
+	r := mustRule(t, `O(x,"c") :- E(x,y).`)
+	f, err := Ground(r.Head, Bindings{"x": "a", "y": "b"})
+	if err != nil {
+		t.Fatalf("Ground: %v", err)
+	}
+	if !f.Equal(fact.New("O", "a", "c")) {
+		t.Fatalf("Ground = %v, want O(a,c)", f)
+	}
+	if _, err := Ground(r.Head, Bindings{"y": "b"}); err == nil {
+		t.Fatal("Ground accepted unbound head variable")
+	}
+}
+
+func TestBindHead(t *testing.T) {
+	r := mustRule(t, `O(x,x,"c") :- E(x,y).`)
+	b, ok := r.BindHead(fact.New("O", "a", "a", "c"))
+	if !ok || b["x"] != "a" {
+		t.Fatalf("BindHead = %v, %v; want x=a bound", b, ok)
+	}
+	for _, bad := range []fact.Fact{
+		fact.New("O", "a", "b", "c"), // repeated variable disagrees
+		fact.New("O", "a", "a", "d"), // constant mismatch
+		fact.New("O", "a", "a"),      // arity mismatch
+		fact.New("P", "a", "a", "c"), // relation mismatch
+	} {
+		if _, ok := r.BindHead(bad); ok {
+			t.Errorf("BindHead unified with %v", bad)
+		}
+	}
+}
+
+func TestEvalPinned(t *testing.T) {
+	x := IndexInstance(fact.MustParseInstance(`E(a,b) E(b,c) E(c,d)`))
+	r := mustRule(t, `T(x,z) :- E(x,y), E(y,z).`)
+
+	// Pinning E(b,c) at position 0 enumerates only joins through it.
+	var heads []string
+	pin := []fact.Fact{fact.New("E", "b", "c")}
+	err := x.EvalPinned(r, 0, pin, func(h fact.Fact, b Bindings) error {
+		heads = append(heads, h.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("EvalPinned: %v", err)
+	}
+	if len(heads) != 1 || heads[0] != "T(b,d)" {
+		t.Fatalf("pinned heads = %v, want [T(b,d)]", heads)
+	}
+
+	// The pinned fact need not be present in the instance.
+	heads = nil
+	ghost := []fact.Fact{fact.New("E", "d", "e")}
+	if err := x.EvalPinned(r, 1, ghost, func(h fact.Fact, b Bindings) error {
+		heads = append(heads, h.String())
+		return nil
+	}); err != nil {
+		t.Fatalf("EvalPinned ghost: %v", err)
+	}
+	if len(heads) != 1 || heads[0] != "T(c,e)" {
+		t.Fatalf("ghost-pinned heads = %v, want [T(c,e)]", heads)
+	}
+
+	if err := x.EvalPinned(r, 2, pin, func(fact.Fact, Bindings) error { return nil }); err == nil {
+		t.Fatal("EvalPinned accepted out-of-range pin")
+	}
+}
+
+func TestMatchBoundCountsDerivations(t *testing.T) {
+	// A diamond: T(a,d) has two length-2 derivations.
+	x := IndexInstance(fact.MustParseInstance(`E(a,b) E(b,d) E(a,c) E(c,d)`))
+	r := mustRule(t, `T(x,z) :- E(x,y), E(y,z).`)
+	init, ok := r.BindHead(fact.New("T", "a", "d"))
+	if !ok {
+		t.Fatal("BindHead failed")
+	}
+	n := 0
+	if err := x.MatchBound(r, init, func(Bindings) error { n++; return nil }); err != nil {
+		t.Fatalf("MatchBound: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("MatchBound counted %d derivations of T(a,d), want 2", n)
+	}
+}
+
+// --- mutation and view semantics (Remove, RemoveAll, Clone, CloneView) ---
+
+func relNames(x *IndexedInstance, rel string, arity int) []string {
+	var out []string
+	atom := Atom{Rel: rel, Args: make([]Term, arity)}
+	for i := range atom.Args {
+		atom.Args[i] = V("v" + string(rune('a'+i)))
+	}
+	for _, f := range x.idx.candidates(atom, Bindings{}) {
+		out = append(out, f.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRemoveAllBatches(t *testing.T) {
+	x := IndexInstance(fact.MustParseInstance(`E(a,b) E(b,c) E(c,d) F(a) F(b)`))
+	n := x.RemoveAll([]fact.Fact{
+		fact.New("E", "a", "b"),
+		fact.New("F", "b"),
+		fact.New("E", "z", "z"), // absent: skipped, not counted
+	})
+	if n != 2 {
+		t.Fatalf("RemoveAll removed %d, want 2", n)
+	}
+	if x.Len() != 3 || x.Has(fact.New("E", "a", "b")) || x.Has(fact.New("F", "b")) {
+		t.Fatalf("state after RemoveAll: %v", x.Instance())
+	}
+	// The index agrees with the instance.
+	if got := relNames(x, "E", 2); len(got) != 2 {
+		t.Fatalf("E posting list = %v, want 2 facts", got)
+	}
+	// Removed argument keys are gone, shared ones remain.
+	if cand := x.idx.byArg[argKey{"E", 0, "a"}]; len(cand) != 0 {
+		t.Fatalf("byArg[E,0,a] = %v, want empty", cand)
+	}
+	if cand := x.idx.byArg[argKey{"E", 1, "c"}]; len(cand) != 1 {
+		t.Fatalf("byArg[E,1,c] = %v, want 1 fact", cand)
+	}
+}
+
+// TestCloneIsolation checks both clone flavors against mutation of the
+// original: a full Clone stays mutable and independent; a CloneView
+// answers reads as of the snapshot.
+func TestCloneIsolation(t *testing.T) {
+	x := IndexInstance(fact.MustParseInstance(`E(a,b) E(b,c)`))
+	clone := x.Clone()
+	view := x.CloneView()
+
+	x.Add(fact.New("E", "c", "d"))
+	x.Remove(fact.New("E", "a", "b"))
+
+	for name, snap := range map[string]*IndexedInstance{"Clone": clone, "CloneView": view} {
+		if snap.Len() != 2 {
+			t.Errorf("%s.Len = %d after mutating original, want 2", name, snap.Len())
+		}
+		if !snap.Has(fact.New("E", "a", "b")) || snap.Has(fact.New("E", "c", "d")) {
+			t.Errorf("%s sees the original's mutations", name)
+		}
+		if got := relNames(snap, "E", 2); len(got) != 2 {
+			t.Errorf("%s posting list = %v, want the 2 snapshot facts", name, got)
+		}
+	}
+
+	// The full clone is independently mutable.
+	clone.Add(fact.New("E", "x", "y"))
+	if x.Has(fact.New("E", "x", "y")) || view.Has(fact.New("E", "x", "y")) {
+		t.Error("mutating the clone leaked into the original or the view")
+	}
+
+	// Negation guards on a view read the snapshot, not the original.
+	r := mustRule(t, `O(x) :- E(x,y), !E(y,x).`)
+	x.Add(fact.New("E", "b", "a")) // would block O(a) now
+	var heads []string
+	if err := view.EvalPinned(r, 0, []fact.Fact{fact.New("E", "a", "b")}, func(h fact.Fact, b Bindings) error {
+		heads = append(heads, h.String())
+		return nil
+	}); err != nil {
+		t.Fatalf("EvalPinned on view: %v", err)
+	}
+	if len(heads) != 1 {
+		t.Fatalf("view negation saw post-snapshot facts: heads = %v", heads)
+	}
+}
+
+func TestCloneViewIsReadOnly(t *testing.T) {
+	x := IndexInstance(fact.MustParseInstance(`E(a,b)`))
+	view := x.CloneView()
+	for name, mutate := range map[string]func(){
+		"Add":       func() { view.Add(fact.New("E", "c", "d")) },
+		"Remove":    func() { view.Remove(fact.New("E", "a", "b")) },
+		"RemoveAll": func() { view.RemoveAll([]fact.Fact{fact.New("E", "a", "b")}) },
+		"Instance":  func() { view.Instance() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a CloneView did not panic", name)
+				}
+			}()
+			mutate()
+		}()
+	}
+}

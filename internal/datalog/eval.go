@@ -129,8 +129,9 @@ func termValue(t Term, b Bindings) (fact.Value, bool) {
 }
 
 // checkGuards verifies the negative atoms and inequalities of a rule
-// under complete bindings, against the instance held in data.
-func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
+// under complete bindings, against the instance held in data — or,
+// when data is nil (a CloneView), against the index.
+func checkGuards(r Rule, b Bindings, idx *relIndex, data *fact.Instance) (bool, error) {
 	for _, q := range r.Ineq {
 		av, aok := termValue(q.A, b)
 		bv, bok := termValue(q.B, b)
@@ -146,7 +147,11 @@ func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		if data.Has(g) {
+		if data != nil {
+			if data.Has(g) {
+				return false, nil
+			}
+		} else if idx.has(g) {
 			return false, nil
 		}
 	}
@@ -173,14 +178,25 @@ func checkGuards(r Rule, b Bindings, data *fact.Instance) (bool, error) {
 // local and flushed once per call, so the disabled (nil) case pays a
 // plain register add in the join loop, not a branch.
 func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, scanned *int64, yield func(Bindings) error) error {
+	return matchRuleFrom(r, idx, data, nil, pin, pinFacts, scanned, yield)
+}
+
+// matchRuleFrom is matchRule starting from the given initial bindings
+// (nil means none): only valuations extending init are enumerated. The
+// incremental engine uses this to enumerate the derivations of a
+// specific head fact by pre-binding the head variables.
+func matchRuleFrom(r Rule, idx *relIndex, data *fact.Instance, init Bindings, pin int, pinFacts []fact.Fact, scanned *int64, yield func(Bindings) error) error {
 	n := len(r.Pos)
-	b := make(Bindings)
+	b := make(Bindings, len(init))
+	for v, val := range init {
+		b[v] = val
+	}
 	used := make([]bool, n)
 	var nscanned int64
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == n {
-			ok, err := checkGuards(r, b, data)
+			ok, err := checkGuards(r, b, idx, data)
 			if err != nil {
 				return err
 			}

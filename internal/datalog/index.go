@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/fact"
@@ -54,6 +55,137 @@ func (idx *relIndex) add(f fact.Fact) {
 	}
 }
 
+// remove drops the fact from every index list it appears in. Removal
+// is copy-on-write — the shrunk list is freshly allocated, never
+// mutated in place — so posting lists may be shared with clones (see
+// clone). Like every mutation, it must not run concurrently with an
+// enumeration.
+func (idx *relIndex) remove(f fact.Fact) {
+	idx.byRel[f.Rel()] = removeFact(idx.byRel[f.Rel()], f)
+	for p := 0; p < f.Arity(); p++ {
+		k := argKey{f.Rel(), p, f.Arg(p)}
+		if fs := removeFact(idx.byArg[k], f); len(fs) == 0 {
+			delete(idx.byArg, k)
+		} else {
+			idx.byArg[k] = fs
+		}
+	}
+}
+
+func removeFact(fs []fact.Fact, f fact.Fact) []fact.Fact {
+	for i := range fs {
+		if fs[i].Equal(f) {
+			out := make([]fact.Fact, 0, len(fs)-1)
+			out = append(out, fs[:i]...)
+			return append(out, fs[i+1:]...)
+		}
+	}
+	return fs
+}
+
+// removeAll drops a batch of facts in one pass per touched index list,
+// instead of one linear scan per fact: the incremental engine deletes
+// whole cascade waves and over-deletion cones at a time, where
+// per-fact scans over a large relation turn O(|wave|) maintenance into
+// O(|wave|·|relation|). fs must be duplicate-free. Membership tests
+// run by binary search over per-relation sorted batches, so a filtered
+// pass over a list of n facts costs n·log|batch| comparisons and no
+// allocation beyond the result.
+func (idx *relIndex) removeAll(fs []fact.Fact) {
+	gone := make(map[string][]fact.Fact)
+	byArg := make(map[argKey]bool)
+	for _, f := range fs {
+		gone[f.Rel()] = append(gone[f.Rel()], f)
+		for p := 0; p < f.Arity(); p++ {
+			byArg[argKey{f.Rel(), p, f.Arg(p)}] = true
+		}
+	}
+	for rel, gs := range gone {
+		sort.Slice(gs, func(i, j int) bool { return gs[i].Compare(gs[j]) < 0 })
+		idx.byRel[rel] = filterFacts(idx.byRel[rel], gs)
+	}
+	for k := range byArg {
+		if kept := filterFacts(idx.byArg[k], gone[k.rel]); len(kept) == 0 {
+			delete(idx.byArg, k)
+		} else {
+			idx.byArg[k] = kept
+		}
+	}
+}
+
+// filterFacts returns the facts not present in the sorted gone batch.
+// The result is freshly allocated (copy-on-write, like removeFact)
+// unless nothing is dropped.
+func filterFacts(fs []fact.Fact, gone []fact.Fact) []fact.Fact {
+	for i, f := range fs {
+		if containsFact(gone, f) {
+			kept := make([]fact.Fact, 0, len(fs)-1)
+			kept = append(kept, fs[:i]...)
+			for _, g := range fs[i+1:] {
+				if !containsFact(gone, g) {
+					kept = append(kept, g)
+				}
+			}
+			return kept
+		}
+	}
+	return fs
+}
+
+func containsFact(sorted []fact.Fact, f fact.Fact) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid].Compare(f) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo].Equal(f)
+}
+
+// has reports membership by scanning the narrowest posting list the
+// fact could appear in — the Has path for data-less views (CloneView).
+func (idx *relIndex) has(f fact.Fact) bool {
+	best := idx.byRel[f.Rel()]
+	for p := 0; p < f.Arity(); p++ {
+		cand, ok := idx.byArg[argKey{f.Rel(), p, f.Arg(p)}]
+		if !ok {
+			return false
+		}
+		if len(cand) < len(best) {
+			best = cand
+		}
+	}
+	for i := range best {
+		if best[i].Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// clone copies the index maps but shares the posting-list backing
+// arrays, capping each shared slice's capacity at its length. That
+// makes the sharing invisible to both sides: removals are
+// copy-on-write (remove, removeAll), appends to a capped slice must
+// reallocate, and appends on the original past the shared length land
+// beyond what the clone can read.
+func (idx *relIndex) clone() *relIndex {
+	c := &relIndex{
+		byRel: make(map[string][]fact.Fact, len(idx.byRel)),
+		byArg: make(map[argKey][]fact.Fact, len(idx.byArg)),
+	}
+	for k, fs := range idx.byRel {
+		c.byRel[k] = fs[:len(fs):len(fs)]
+	}
+	for k, fs := range idx.byArg {
+		c.byArg[k] = fs[:len(fs):len(fs)]
+	}
+	return c
+}
+
 // candidates returns the facts that can possibly match the atom under
 // the current bindings: the narrowest per-argument index over all bound
 // positions, or the full relation when no argument is bound yet. An
@@ -85,17 +217,19 @@ func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
 }
 
 // IndexedInstance couples an instance with its join index, maintained
-// incrementally: adding a fact updates both in O(arity). Build one with
-// IndexInstance and reuse it across fixpoint rounds and strata instead
-// of re-indexing per call.
+// incrementally: adding or removing a fact updates both in O(arity).
+// Build one with IndexInstance and reuse it across fixpoint rounds and
+// strata instead of re-indexing per call.
 //
-// The instance must only grow through Add while indexed; mutating the
-// underlying instance directly desynchronizes the index. Reads of an
-// IndexedInstance are safe from multiple goroutines as long as no Add
-// is concurrent (the parallel engine adds only at round barriers).
+// The instance must only change through Add and Remove while indexed;
+// mutating the underlying instance directly desynchronizes the index.
+// Reads of an IndexedInstance are safe from multiple goroutines as long
+// as no Add or Remove is concurrent (the engines mutate only at round
+// or phase barriers).
 type IndexedInstance struct {
 	data *fact.Instance
 	idx  *relIndex
+	n    int // fact count when data is nil (CloneView)
 }
 
 // IndexInstance builds the index over the instance. The instance is
@@ -108,6 +242,9 @@ func IndexInstance(i *fact.Instance) *IndexedInstance {
 // Add inserts the fact into the instance and the index, reporting
 // whether it was newly added.
 func (x *IndexedInstance) Add(f fact.Fact) bool {
+	if x.data == nil {
+		panic("datalog: Add on a read-only CloneView")
+	}
 	if !x.data.Add(f) {
 		return false
 	}
@@ -115,15 +252,85 @@ func (x *IndexedInstance) Add(f fact.Fact) bool {
 	return true
 }
 
+// Remove deletes the fact from the instance and the index, reporting
+// whether it was present. Like Add, Remove must not run concurrently
+// with reads; the incremental engine removes only at phase barriers.
+func (x *IndexedInstance) Remove(f fact.Fact) bool {
+	if x.data == nil {
+		panic("datalog: Remove on a read-only CloneView")
+	}
+	if !x.data.Remove(f) {
+		return false
+	}
+	x.idx.remove(f)
+	return true
+}
+
+// Clone returns an independent copy of the instance and its index,
+// sharing no mutable state with the receiver. The incremental engine
+// clones the materialization to keep a pre-update view for the
+// delete-phase joins, so Clone copies the existing index rather than
+// rebuilding it.
+func (x *IndexedInstance) Clone() *IndexedInstance {
+	return &IndexedInstance{data: x.data.Clone(), idx: x.idx.clone()}
+}
+
+// CloneView returns a read-only snapshot of the instance for join
+// enumeration: later mutations of the receiver are invisible to the
+// view and vice versa (there is no vice versa — mutating a view
+// panics). The view skips copying the fact-set map and shares
+// posting-list storage copy-on-write with the receiver, so taking one
+// is much cheaper than Clone; membership checks (negation guards, Has)
+// are answered from the index instead. Instance is unavailable on a
+// view.
+func (x *IndexedInstance) CloneView() *IndexedInstance {
+	return &IndexedInstance{idx: x.idx.clone(), n: x.data.Len()}
+}
+
+// RemoveAll deletes a batch of facts, skipping those not present, and
+// returns how many were removed. The index update is one pass per
+// touched posting list — use this over per-fact Remove when deleting
+// cascade waves. Like Remove, it must not run concurrently with reads.
+func (x *IndexedInstance) RemoveAll(fs []fact.Fact) int {
+	if x.data == nil {
+		panic("datalog: RemoveAll on a read-only CloneView")
+	}
+	present := fs[:0:0]
+	for _, f := range fs {
+		if x.data.Remove(f) {
+			present = append(present, f)
+		}
+	}
+	if len(present) > 0 {
+		x.idx.removeAll(present)
+	}
+	return len(present)
+}
+
 // Has reports whether the fact is present.
-func (x *IndexedInstance) Has(f fact.Fact) bool { return x.data.Has(f) }
+func (x *IndexedInstance) Has(f fact.Fact) bool {
+	if x.data == nil {
+		return x.idx.has(f)
+	}
+	return x.data.Has(f)
+}
 
 // Len returns the number of facts.
-func (x *IndexedInstance) Len() int { return x.data.Len() }
+func (x *IndexedInstance) Len() int {
+	if x.data == nil {
+		return x.n
+	}
+	return x.data.Len()
+}
 
 // Instance returns the underlying instance. Callers must not mutate it
-// except through Add.
-func (x *IndexedInstance) Instance() *fact.Instance { return x.data }
+// except through Add. Panics on a CloneView, which has none.
+func (x *IndexedInstance) Instance() *fact.Instance {
+	if x.data == nil {
+		panic("datalog: Instance on a read-only CloneView")
+	}
+	return x.data
+}
 
 // Valuations enumerates every satisfying valuation of the rule against
 // the indexed instance, like the package-level Valuations but without

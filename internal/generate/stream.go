@@ -1,0 +1,69 @@
+package generate
+
+import (
+	"math/rand"
+
+	"repro/internal/fact"
+)
+
+// Update is one step of a generated update stream: a batch of facts to
+// insert and a batch to retract, disjoint by construction.
+type Update struct {
+	Insert  []fact.Fact
+	Retract []fact.Fact
+}
+
+// UpdateStream generates a seeded random sequence of update batches
+// over the schema: each step inserts up to maxBatch random facts (in
+// the style of Random) and retracts up to maxBatch facts drawn from
+// the set currently present, tracking presence from the given start
+// instance (which is not mutated). Inserts of present facts and
+// mixed insert+retract of the same fact within a batch are avoided,
+// so every generated change is effective — the shape incremental
+// maintenance property tests want to replay.
+func UpdateStream(rng *rand.Rand, schema fact.Schema, pool []fact.Value, start *fact.Instance, steps, maxBatch int) []Update {
+	cur := fact.NewInstance()
+	if start != nil {
+		cur.AddAll(start)
+	}
+	names := schema.Names()
+	out := make([]Update, 0, steps)
+	for s := 0; s < steps; s++ {
+		var u Update
+		batch := make(map[string]bool)
+		if len(names) > 0 && len(pool) > 0 {
+			for k := rng.Intn(maxBatch + 1); k > 0; k-- {
+				rel := names[rng.Intn(len(names))]
+				ar, _ := schema.Arity(rel)
+				args := make([]fact.Value, ar)
+				for i := range args {
+					args[i] = pool[rng.Intn(len(pool))]
+				}
+				f := fact.New(rel, args...)
+				if cur.Has(f) || batch[f.Key()] {
+					continue
+				}
+				batch[f.Key()] = true
+				u.Insert = append(u.Insert, f)
+			}
+		}
+		if present := cur.Facts(); len(present) > 0 {
+			for k := rng.Intn(maxBatch + 1); k > 0; k-- {
+				f := present[rng.Intn(len(present))]
+				if batch[f.Key()] {
+					continue
+				}
+				batch[f.Key()] = true
+				u.Retract = append(u.Retract, f)
+			}
+		}
+		for _, f := range u.Insert {
+			cur.Add(f)
+		}
+		for _, f := range u.Retract {
+			cur.Remove(f)
+		}
+		out = append(out, u)
+	}
+	return out
+}

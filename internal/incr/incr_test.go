@@ -1,0 +1,264 @@
+package incr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/generate"
+	"repro/internal/obs"
+)
+
+const tcProg = `
+T(x,y) :- E(x,y).
+T(x,y) :- E(x,z), T(z,y).
+`
+
+// noLoopProg is the paper's NoLoop-style stratified-negation program:
+// nodes not on a cycle, over reachability.
+const noLoopProg = `
+T(x,y) :- E(x,y).
+T(x,y) :- E(x,z), T(z,y).
+OnLoop(x) :- T(x,x).
+Off(x) :- E(x,y), !OnLoop(x).
+Off(y) :- E(x,y), !OnLoop(y).
+`
+
+func mustNew(t *testing.T, src string, init *fact.Instance, opts Options) *Materialization {
+	t.Helper()
+	m, err := New(datalog.MustParseProgram(src), init, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// checkAgainstRecompute fails unless the materialization equals the
+// full stratified recomputation of its base and Verify passes.
+func checkAgainstRecompute(t *testing.T, m *Materialization) {
+	t.Helper()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInitialBuildEqualsRecompute(t *testing.T) {
+	for _, mode := range []datalog.EvalMode{datalog.SemiNaive, datalog.Parallel} {
+		m := mustNew(t, tcProg, generate.Path("v", 5), Options{Mode: mode})
+		checkAgainstRecompute(t, m)
+		if got := len(m.Rel("T")); got != 15 {
+			t.Fatalf("mode %v: |T| = %d, want 15 on a 5-edge path", mode, got)
+		}
+	}
+}
+
+func TestInsertPropagates(t *testing.T) {
+	m := mustNew(t, tcProg, generate.Path("v", 3), Options{})
+	st, err := m.Apply(Delta{Insert: []fact.Fact{fact.MustParseFact("E(v3,v4)")}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.BaseInserted != 1 || st.DerivedAdded == 0 {
+		t.Fatalf("stats = %+v, want 1 base insert with derived additions", st)
+	}
+	if !m.Has(fact.MustParseFact("T(v0,v4)")) {
+		t.Fatalf("T(v0,v4) not derived after inserting E(v3,v4)")
+	}
+	checkAgainstRecompute(t, m)
+}
+
+func TestRetractCascades(t *testing.T) {
+	m := mustNew(t, tcProg, generate.Path("v", 4), Options{})
+	st, err := m.Apply(Delta{Retract: []fact.Fact{fact.MustParseFact("E(v1,v2)")}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.BaseRetracted != 1 || st.DerivedRemoved == 0 {
+		t.Fatalf("stats = %+v, want 1 base retract with derived removals", st)
+	}
+	if m.Has(fact.MustParseFact("T(v0,v4)")) {
+		t.Fatalf("T(v0,v4) still materialized after cutting the path")
+	}
+	checkAgainstRecompute(t, m)
+}
+
+// TestSupportCountsSurviveSharedDerivations is the classic counting
+// case: a diamond gives T(a,d) two derivations; deleting one side must
+// decrement, not delete.
+func TestSupportCountsSurviveSharedDerivations(t *testing.T) {
+	init := fact.MustParseInstance(`
+		E(a,b), E(b,d)
+		E(a,c), E(c,d)
+	`)
+	m := mustNew(t, tcProg, init, Options{})
+	ad := fact.MustParseFact("T(a,d)")
+	if n := m.Support(ad); n != 2 {
+		t.Fatalf("Support(T(a,d)) = %d, want 2", n)
+	}
+	if _, err := m.Apply(Delta{Retract: []fact.Fact{fact.MustParseFact("E(b,d)")}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !m.Has(ad) {
+		t.Fatalf("T(a,d) deleted despite surviving derivation via c")
+	}
+	if n := m.Support(ad); n != 1 {
+		t.Fatalf("Support(T(a,d)) = %d after retract, want 1", n)
+	}
+	checkAgainstRecompute(t, m)
+}
+
+// TestNegationFlips exercises the DRed path: inserting an edge that
+// closes a cycle flips Off facts away; retracting it flips them back.
+func TestNegationFlips(t *testing.T) {
+	m := mustNew(t, noLoopProg, generate.Path("v", 3), Options{})
+	off0 := fact.MustParseFact("Off(v0)")
+	if !m.Has(off0) {
+		t.Fatalf("Off(v0) missing on an acyclic path")
+	}
+	back := fact.MustParseFact("E(v3,v0)")
+	if _, err := m.Apply(Delta{Insert: []fact.Fact{back}}); err != nil {
+		t.Fatalf("Apply insert: %v", err)
+	}
+	if m.Has(off0) {
+		t.Fatalf("Off(v0) survived closing the cycle")
+	}
+	checkAgainstRecompute(t, m)
+	if _, err := m.Apply(Delta{Retract: []fact.Fact{back}}); err != nil {
+		t.Fatalf("Apply retract: %v", err)
+	}
+	if !m.Has(off0) {
+		t.Fatalf("Off(v0) not rederived after reopening the cycle")
+	}
+	checkAgainstRecompute(t, m)
+}
+
+func TestNoOpDeltaDoesNothing(t *testing.T) {
+	m := mustNew(t, tcProg, generate.Path("v", 3), Options{})
+	seq := m.Seq()
+	st, err := m.Apply(Delta{
+		Insert:  []fact.Fact{fact.MustParseFact("E(v0,v1)")}, // already present
+		Retract: []fact.Fact{fact.MustParseFact("E(q,q)")},   // absent
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st != (ApplyStats{}) {
+		t.Fatalf("no-op delta produced stats %+v", st)
+	}
+	if m.Seq() != seq {
+		t.Fatalf("no-op delta advanced seq")
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	m := mustNew(t, tcProg, nil, Options{})
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"idb insert", Delta{Insert: []fact.Fact{fact.MustParseFact("T(a,b)")}}},
+		{"idb retract", Delta{Retract: []fact.Fact{fact.MustParseFact("T(a,b)")}}},
+		{"arity mismatch", Delta{Insert: []fact.Fact{fact.MustParseFact("E(a)")}}},
+		{"insert and retract", Delta{
+			Insert:  []fact.Fact{fact.MustParseFact("E(a,b)")},
+			Retract: []fact.Fact{fact.MustParseFact("E(a,b)")},
+		}},
+		{"nul byte", Delta{Insert: []fact.Fact{fact.New("E", "a", "b\x00c")}}},
+	}
+	for _, tc := range cases {
+		if _, err := m.Apply(tc.d); err == nil {
+			t.Errorf("%s: Apply accepted invalid delta", tc.name)
+		}
+	}
+	// Validation failures must not poison the materialization.
+	if _, err := m.Apply(Delta{Insert: []fact.Fact{fact.MustParseFact("E(a,b)")}}); err != nil {
+		t.Fatalf("Apply after rejected deltas: %v", err)
+	}
+	checkAgainstRecompute(t, m)
+}
+
+func TestNaiveModeRejected(t *testing.T) {
+	if _, err := New(datalog.MustParseProgram(tcProg), nil, Options{Mode: datalog.Naive}); err == nil {
+		t.Fatalf("New accepted naive mode")
+	}
+}
+
+func TestUnknownRelationsPassThrough(t *testing.T) {
+	m := mustNew(t, tcProg, nil, Options{})
+	f := fact.MustParseFact("Meta(run1)")
+	if _, err := m.Apply(Delta{Insert: []fact.Fact{f}}); err != nil {
+		t.Fatalf("Apply unknown rel: %v", err)
+	}
+	if !m.Has(f) {
+		t.Fatalf("unknown-relation fact not materialized")
+	}
+	if _, err := m.Apply(Delta{Retract: []fact.Fact{f}}); err != nil {
+		t.Fatalf("retract unknown rel: %v", err)
+	}
+	if m.Has(f) {
+		t.Fatalf("unknown-relation fact not retracted")
+	}
+	checkAgainstRecompute(t, m)
+}
+
+// TestEventStreamDeterministic checks the two-plane contract: the
+// incr event stream is byte-identical between serial and parallel
+// modes and across worker counts.
+func TestEventStreamDeterministic(t *testing.T) {
+	run := func(mode datalog.EvalMode, workers int) string {
+		var buf bytes.Buffer
+		m := mustNew(t, noLoopProg, generate.Path("v", 4),
+			Options{Mode: mode, Workers: workers, Sink: obs.NewSink(&buf)})
+		deltas := []Delta{
+			{Insert: []fact.Fact{fact.MustParseFact("E(v4,v0)"), fact.MustParseFact("E(v2,v2)")}},
+			{Retract: []fact.Fact{fact.MustParseFact("E(v2,v2)"), fact.MustParseFact("E(v1,v2)")}},
+			{Insert: []fact.Fact{fact.MustParseFact("E(v1,v2)")}, Retract: []fact.Fact{fact.MustParseFact("E(v4,v0)")}},
+		}
+		for i, d := range deltas {
+			if _, err := m.Apply(d); err != nil {
+				t.Fatalf("mode %v workers %d delta %d: %v", mode, workers, i, err)
+			}
+		}
+		checkAgainstRecompute(t, m)
+		return buf.String()
+	}
+	want := run(datalog.SemiNaive, 0)
+	if !strings.Contains(want, obs.EvIncrApply) || !strings.Contains(want, obs.EvIncrStratum) {
+		t.Fatalf("event stream missing incr kinds:\n%s", want)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		if got := run(datalog.Parallel, workers); got != want {
+			t.Fatalf("parallel(%d) event stream diverged:\n--- serial ---\n%s--- parallel ---\n%s", workers, want, got)
+		}
+	}
+}
+
+func TestCountersPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := mustNew(t, tcProg, generate.Path("v", 3), Options{Reg: reg})
+	if _, err := m.Apply(Delta{Retract: []fact.Fact{fact.MustParseFact("E(v0,v1)")}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Retraction from recursive TC runs DRed: overdeletion plus
+	// recount-style bookkeeping, no support decrements.
+	snap := reg.Snapshot()
+	for _, name := range []string{obs.IncrApplies, obs.IncrBaseInserted, obs.IncrDerivedAdded, obs.IncrBaseRetracted, obs.IncrDerivedRemoved, obs.IncrSupportIncrements, obs.IncrOverdeleted} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s not published (snapshot %v)", name, snap.Counters)
+		}
+	}
+	// A non-recursive stratum deletes by counting, which decrements.
+	reg2 := obs.NewRegistry()
+	m2 := mustNew(t, "P(x) :- E(x,y).\n", fact.MustParseInstance("E(a,b), E(a,c)"), Options{Reg: reg2})
+	if _, err := m2.Apply(Delta{Retract: []fact.Fact{fact.MustParseFact("E(a,b)")}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if reg2.Snapshot().Counters[obs.IncrSupportDecrements] == 0 {
+		t.Errorf("counting delete published no support decrements")
+	}
+	if snap.Histograms[obs.IncrApplyNs].Count == 0 {
+		t.Errorf("apply span histogram empty")
+	}
+}

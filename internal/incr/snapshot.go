@@ -1,0 +1,142 @@
+package incr
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+// Snapshot format: JSON lines. The first line is a header carrying
+// the format tag, the program source, and the apply sequence number;
+// every following line is one materialized fact — base facts bare,
+// derived facts with their support count:
+//
+//	{"snapshot":"calm.incr","v":1,"seq":3,"program":"T(x,y) :- E(x,y).\n..."}
+//	{"f":"E(a,b)"}
+//	{"f":"T(a,b)","n":1}
+//
+// Facts are written in sorted order and the header field order is
+// fixed, so snapshotting is deterministic: snapshot → restore →
+// snapshot is byte-identical, which is what cmd/calmd's restart test
+// checks end to end.
+
+const (
+	snapshotTag     = "calm.incr"
+	snapshotVersion = 1
+)
+
+type snapshotHeader struct {
+	Snapshot string `json:"snapshot"`
+	V        int    `json:"v"`
+	Seq      int    `json:"seq"`
+	Program  string `json:"program"`
+}
+
+type snapshotFact struct {
+	F string `json:"f"`
+	N int64  `json:"n,omitempty"`
+}
+
+// Snapshot writes the full materialization state to w.
+func (m *Materialization) Snapshot(w io.Writer) error {
+	if m.corrupt != nil {
+		return m.corrupt
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{
+		Snapshot: snapshotTag,
+		V:        snapshotVersion,
+		Seq:      m.seq,
+		Program:  m.prog.String(),
+	}); err != nil {
+		return err
+	}
+	facts := m.x.Instance().Facts()
+	sort.Slice(facts, func(i, j int) bool { return facts[i].Compare(facts[j]) < 0 })
+	for _, f := range facts {
+		line := snapshotFact{F: f.String()}
+		if !m.base.Has(f) {
+			n := m.support[f.Key()]
+			if n <= 0 {
+				return fmt.Errorf("incr: snapshot: derived fact %v has support %d", f, n)
+			}
+			line.N = n
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore rebuilds a materialization from a snapshot stream, with the
+// given runtime options (mode, workers, instrumentation — these are
+// not part of the snapshot). The fact set and support counts are
+// taken on faith for speed; call Verify to audit a restored
+// materialization against full recomputation.
+func Restore(r io.Reader, opts Options) (*Materialization, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("incr: restore: empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("incr: restore: bad header: %w", err)
+	}
+	if hdr.Snapshot != snapshotTag {
+		return nil, fmt.Errorf("incr: restore: not a %s snapshot (tag %q)", snapshotTag, hdr.Snapshot)
+	}
+	if hdr.V != snapshotVersion {
+		return nil, fmt.Errorf("incr: restore: unsupported snapshot version %d", hdr.V)
+	}
+	prog, err := datalog.ParseProgram(hdr.Program)
+	if err != nil {
+		return nil, fmt.Errorf("incr: restore: program: %w", err)
+	}
+	m, err := newEmpty(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.seq = hdr.Seq
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sf snapshotFact
+		if err := json.Unmarshal(sc.Bytes(), &sf); err != nil {
+			return nil, fmt.Errorf("incr: restore: line %d: %w", line, err)
+		}
+		f, err := fact.ParseFact(sf.F)
+		if err != nil {
+			return nil, fmt.Errorf("incr: restore: line %d: %w", line, err)
+		}
+		if !m.x.Add(f) {
+			return nil, fmt.Errorf("incr: restore: line %d: duplicate fact %v", line, f)
+		}
+		if sf.N == 0 {
+			if err := m.checkBaseFact(f); err != nil {
+				return nil, fmt.Errorf("incr: restore: line %d: %w", line, err)
+			}
+			m.base.Add(f)
+			continue
+		}
+		if sf.N < 0 {
+			return nil, fmt.Errorf("incr: restore: line %d: negative support on %v", line, f)
+		}
+		if !m.idb.Has(f.Rel()) {
+			return nil, fmt.Errorf("incr: restore: line %d: %v carries a support count but %s is not a derived relation", line, f, f.Rel())
+		}
+		m.support[f.Key()] = sf.N
+	}
+	return m, sc.Err()
+}

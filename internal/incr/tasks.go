@@ -1,0 +1,253 @@
+package incr
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+)
+
+// A pinTask is one unit of delta enumeration: evaluate rule with its
+// pinned atom ranging over pinFacts against a frozen view, keeping
+// only valuations the accept filter admits. Tasks never mutate shared
+// state — each enumeration folds into a private headAcc and the
+// accumulators merge additively at the phase barrier, which is what
+// makes serial and parallel execution produce identical results.
+type pinTask struct {
+	rule     datalog.Rule
+	pin      int
+	pinFacts []fact.Fact
+	view     *datalog.IndexedInstance
+	// accept filters valuations for exactly-once attribution (nil
+	// admits all). It must read only state frozen for the phase.
+	accept func(datalog.Bindings) bool
+}
+
+// headAcc accumulates derivation counts per ground head fact.
+type headAcc struct {
+	counts map[string]int64
+	facts  map[string]fact.Fact
+}
+
+func newHeadAcc() *headAcc {
+	return &headAcc{counts: make(map[string]int64), facts: make(map[string]fact.Fact)}
+}
+
+func (a *headAcc) add(h fact.Fact, n int64) {
+	k := h.Key()
+	if _, ok := a.counts[k]; !ok {
+		a.facts[k] = h
+	}
+	a.counts[k] += n
+}
+
+func (a *headAcc) merge(b *headAcc) {
+	for k, n := range b.counts {
+		if _, ok := a.counts[k]; !ok {
+			a.facts[k] = b.facts[k]
+		}
+		a.counts[k] += n
+	}
+}
+
+// sortedFacts returns the accumulated head facts in sorted order.
+func (a *headAcc) sortedFacts() []fact.Fact {
+	fs := make([]fact.Fact, 0, len(a.facts))
+	for _, f := range a.facts {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+	return fs
+}
+
+func runTask(t pinTask, acc *headAcc) error {
+	return t.view.EvalPinned(t.rule, t.pin, t.pinFacts, func(h fact.Fact, b datalog.Bindings) error {
+		if t.accept != nil && !t.accept(b) {
+			return nil
+		}
+		acc.add(h, 1)
+		return nil
+	})
+}
+
+// runTasks executes the tasks and returns the merged accumulator. In
+// parallel mode large pin lists are chunked so the pool stays busy;
+// because the merge is a commutative sum, the result is independent of
+// scheduling and of the worker count.
+func (m *Materialization) runTasks(tasks []pinTask) (*headAcc, error) {
+	if m.workers <= 1 || len(tasks) == 0 {
+		acc := newHeadAcc()
+		for _, t := range tasks {
+			if err := runTask(t, acc); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	var sub []pinTask
+	for _, t := range tasks {
+		for _, chunk := range chunkPin(t.pinFacts, m.workers) {
+			t2 := t
+			t2.pinFacts = chunk
+			sub = append(sub, t2)
+		}
+	}
+	workers := m.workers
+	if workers > len(sub) {
+		workers = len(sub)
+	}
+	accs := make([]*headAcc, workers)
+	errs := make([]error, workers)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		accs[w] = newHeadAcc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if errs[w] != nil {
+					continue
+				}
+				errs[w] = runTask(sub[i], accs[w])
+			}
+		}()
+	}
+	for i := range sub {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := accs[0]
+	for _, other := range accs[1:] {
+		acc.merge(other)
+	}
+	return acc, nil
+}
+
+// chunkPin splits a pin list into at most 2×workers chunks so a slow
+// chunk cannot serialize the whole phase.
+func chunkPin(fs []fact.Fact, workers int) [][]fact.Fact {
+	if len(fs) == 0 {
+		return nil
+	}
+	target := workers * 2
+	size := (len(fs) + target - 1) / target
+	if size < 1 {
+		size = 1
+	}
+	var chunks [][]fact.Fact
+	for start := 0; start < len(fs); start += size {
+		end := start + size
+		if end > len(fs) {
+			end = len(fs)
+		}
+		chunks = append(chunks, fs[start:end])
+	}
+	return chunks
+}
+
+// parallelEach runs fn for every index, fanning out across the worker
+// pool in parallel mode. fn must not mutate shared state; the DRed
+// phases use this for independent derivability checks and recounts.
+func (m *Materialization) parallelEach(n int, fn func(i int) error) error {
+	if m.workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := m.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if errs[w] == nil {
+					errs[w] = fn(i)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order; phases apply
+// support updates in this order so mutation order is deterministic.
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// groupByRel groups facts by relation, preserving slice order.
+func groupByRel(fs []fact.Fact) map[string][]fact.Fact {
+	g := make(map[string][]fact.Fact)
+	for _, f := range fs {
+		g[f.Rel()] = append(g[f.Rel()], f)
+	}
+	return g
+}
+
+// keySet builds the key set of a fact slice.
+func keySet(fs []fact.Fact) map[string]bool {
+	s := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		s[f.Key()] = true
+	}
+	return s
+}
+
+// groundIn reports whether the atom grounded under b is in the key
+// set. All variables of body atoms are bound by the time accept
+// filters run, so grounding cannot fail; a failure would indicate an
+// engine bug and is treated as "not in set".
+func groundIn(a datalog.Atom, b datalog.Bindings, set map[string]bool) bool {
+	f, err := datalog.Ground(a, b)
+	if err != nil {
+		return false
+	}
+	return set[f.Key()]
+}
+
+// convertNeg rewrites the rule so its k-th negated atom becomes a
+// positive atom that can be pinned to a delta: the atom is appended to
+// the positive body (so every variable it shares is join-checked) and
+// dropped from the guards. Pinning the converted atom's position to
+// facts leaving (entering) the instance enumerates exactly the
+// valuations the negation admits after (blocked before) the change.
+func convertNeg(r datalog.Rule, k int) (datalog.Rule, int) {
+	conv := datalog.Rule{Head: r.Head, Ineq: r.Ineq}
+	conv.Pos = append(append([]datalog.Atom{}, r.Pos...), r.Neg[k])
+	conv.Neg = append(append([]datalog.Atom{}, r.Neg[:k]...), r.Neg[k+1:]...)
+	return conv, len(r.Pos)
+}

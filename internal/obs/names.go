@@ -42,6 +42,34 @@ const (
 	DlRulePrefix = "dl.rule."
 )
 
+// Incremental view-maintenance metrics (internal/incr).
+const (
+	// IncrApplies counts Apply calls that performed any work.
+	IncrApplies = "incr.applies"
+	// IncrBaseInserted / IncrBaseRetracted count base (edb) facts
+	// inserted/retracted after netting no-ops out of the delta.
+	IncrBaseInserted  = "incr.base_inserted"
+	IncrBaseRetracted = "incr.base_retracted"
+	// IncrDerivedAdded / IncrDerivedRemoved count the net change to the
+	// derived (idb) portion of the materialization.
+	IncrDerivedAdded   = "incr.derived_added"
+	IncrDerivedRemoved = "incr.derived_removed"
+	// IncrOverdeleted counts facts removed by the DRed over-deletion
+	// phase (before rederivation); IncrRederived counts how many of
+	// those came back — together they measure rederivation work.
+	IncrOverdeleted = "incr.overdeleted"
+	IncrRederived   = "incr.rederived"
+	// IncrSupportIncrements / IncrSupportDecrements count changes to
+	// per-fact derivation support counts — the support-count churn.
+	IncrSupportIncrements = "incr.support_increments"
+	IncrSupportDecrements = "incr.support_decrements"
+	// IncrRecounts counts facts whose support was recomputed from
+	// scratch after a DRed phase.
+	IncrRecounts = "incr.recounts"
+	// IncrApplyNs is the wall-clock span histogram of Apply calls.
+	IncrApplyNs = "incr.apply_ns"
+)
+
 // ILOG¬ evaluator metrics (internal/ilog).
 const (
 	IlogRounds = "ilog.rounds"
@@ -91,6 +119,12 @@ const (
 	// EvDlFixpoint: strata, facts.
 	EvDlFixpoint = "dl.fixpoint"
 
+	// EvIncrApply: seq, inserted, retracted, added, removed, facts.
+	EvIncrApply = "incr.apply"
+	// EvIncrStratum: seq, stratum, alg, overdeleted, rederived, added,
+	// removed.
+	EvIncrStratum = "incr.stratum"
+
 	// EvIlogRound: stratum, round, derived, invented, facts.
 	EvIlogRound = "ilog.round"
 	// EvIlogStratum: stratum, rounds, derived, invented.
@@ -117,6 +151,7 @@ const (
 // EventKinds lists every event kind, for schema-coverage tests.
 var EventKinds = []string{
 	EvDlRound, EvDlStratum, EvDlFixpoint,
+	EvIncrApply, EvIncrStratum,
 	EvIlogRound, EvIlogStratum,
 	EvTransition, EvStall, EvCrash, EvHold, EvQuiesce,
 	EvSchedule, EvViolation,

@@ -3,7 +3,8 @@
 # results as JSON: one row per benchmark carrying ns/op plus every
 # custom metric the benchmarks report (derivations/op, rounds/op,
 # msgs/run, msgs/tick, ...), so performance and work-profile changes
-# are diffable in review. The committed BENCH_PR4.json was produced by
+# are diffable in review. Committed snapshots are named after the PR
+# that produced them (BENCH_PR<n>.json):
 #
 #	scripts/bench.sh BENCH_PR4.json
 #
@@ -21,6 +22,8 @@ go test -run '^$' -bench 'BenchmarkNaiveVsSemiNaive|BenchmarkParallelTC|Benchmar
     -benchtime "$benchtime" . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkDisabledOverhead|BenchmarkEnabled' \
     -benchtime "$benchtime" ./internal/obs/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkIncr' \
+    -benchtime "$benchtime" ./internal/incr/ >>"$tmp"
 
 render() {
     awk '
