@@ -166,6 +166,75 @@ func TestProtocolErrors(t *testing.T) {
 	}
 }
 
+// TestSeqZeroOnWire is the protocol round-trip for the omitempty bug:
+// a mutating op answered at sequence number 0 (a no-op delta on a
+// fresh daemon) must still emit "seq":0 on the wire, while query
+// responses must stay seq-free so they remain a pure function of the
+// materialized state.
+func TestSeqZeroOnWire(t *testing.T) {
+	m, err := incr.New(datalog.MustParseProgram(testProgram), nil, incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(m)
+	script := []string{
+		`{"op":"retract","facts":["E(zz,zz)"]}`, // no-op delta: seq stays 0
+		`{"op":"query","rel":"T"}`,
+		`{"op":"insert","facts":["E(a,b)"]}`, // first real delta: seq 1
+	}
+	resps := runScript(t, srv, script)
+
+	noop := mustOK(t, resps[0])
+	if noop.Seq == nil || *noop.Seq != 0 {
+		t.Fatalf("no-op delta on fresh daemon: want seq 0 on the wire, got %s", resps[0])
+	}
+	if !strings.Contains(resps[0], `"seq":0`) {
+		t.Fatalf(`raw response lost "seq":0: %s`, resps[0])
+	}
+
+	q := mustOK(t, resps[1])
+	if q.Seq != nil || strings.Contains(resps[1], `"seq"`) {
+		t.Fatalf("query response must not carry a seq: %s", resps[1])
+	}
+
+	ins := mustOK(t, resps[2])
+	if ins.Seq == nil || *ins.Seq != 1 {
+		t.Fatalf("first applied delta: want seq 1, got %s", resps[2])
+	}
+}
+
+// TestServeOversizedLine checks a request line over the scanner buffer
+// is not a clean shutdown: the client sees a final error response and
+// serve returns the scanner error (so the stdin daemon exits non-zero).
+func TestServeOversizedLine(t *testing.T) {
+	m, err := incr.New(datalog.MustParseProgram(testProgram), nil, incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := `{"op":"ping"}` + "\n" + `{"op":"insert","facts":["` +
+		strings.Repeat("x", 17*1024*1024) + `"]}` + "\n"
+	var out strings.Builder
+	err = newServer(m).serve(strings.NewReader(in), &out)
+	if err == nil {
+		t.Fatal("serve returned nil for an oversized request line")
+	}
+	if !strings.Contains(err.Error(), bufio.ErrTooLong.Error()) {
+		t.Fatalf("serve error = %v, want it to wrap %v", err, bufio.ErrTooLong)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d response lines, want ping response + final error:\n%s", len(lines), out.String())
+	}
+	mustOK(t, lines[0])
+	var last response
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatalf("bad final response %q: %v", lines[1], err)
+	}
+	if last.OK || !strings.Contains(last.Err, bufio.ErrTooLong.Error()) {
+		t.Fatalf("final response does not surface the scanner error: %s", lines[1])
+	}
+}
+
 // TestServeSkipsBlankLines checks request framing tolerates blank
 // lines and that responses stay one-per-request.
 func TestServeSkipsBlankLines(t *testing.T) {

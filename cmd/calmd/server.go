@@ -56,9 +56,13 @@ type statsBody struct {
 }
 
 type response struct {
-	OK    bool       `json:"ok"`
-	Err   string     `json:"error,omitempty"`
-	Seq   int        `json:"seq,omitempty"`
+	OK  bool   `json:"ok"`
+	Err string `json:"error,omitempty"`
+	// Seq is a pointer so that sequence number 0 — a no-op delta on a
+	// fresh daemon — still reaches the wire; omitempty on a plain int
+	// would drop it. Query responses leave it nil on purpose: they must
+	// stay a pure function of the materialized state.
+	Seq   *int       `json:"seq,omitempty"`
 	Apply *applyBody `json:"apply,omitempty"`
 	Stats *statsBody `json:"stats,omitempty"`
 	Count *int       `json:"count,omitempty"`
@@ -127,7 +131,8 @@ func (s *server) handle(req request) response {
 		if err != nil {
 			return errResp("%v", err)
 		}
-		return response{OK: true, Seq: s.m.Seq(), Apply: &applyBody{
+		seq := s.m.Seq()
+		return response{OK: true, Seq: &seq, Apply: &applyBody{
 			Inserted:  st.BaseInserted,
 			Retracted: st.BaseRetracted,
 			Added:     st.DerivedAdded,
@@ -178,7 +183,11 @@ func (s *server) handle(req request) response {
 }
 
 // serve runs the request loop until EOF. Malformed JSON produces an
-// error response and the loop continues; only I/O errors end it.
+// error response and the loop continues; only I/O errors end it. A
+// scanner failure (e.g. a line over the 16MiB buffer) is not a clean
+// shutdown: the client gets one final error response before the
+// stream closes, and the error propagates to the caller so the
+// stdin/stdout daemon exits non-zero.
 func (s *server) serve(r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -203,5 +212,12 @@ func (s *server) serve(r io.Reader, w io.Writer) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		// Best-effort: the write side may be gone too.
+		if werr := enc.Encode(errResp("read: %v", err)); werr == nil {
+			bw.Flush()
+		}
+		return fmt.Errorf("read: %w", err)
+	}
+	return nil
 }

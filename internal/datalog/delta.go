@@ -13,6 +13,14 @@ import (
 // enumeration, and atom grounding — without exposing the engine's
 // internals. Everything here reads the IndexedInstance only; mutation
 // stays with Add and Remove.
+//
+// Two API planes coexist. The Valuation plane (EvalPinnedV,
+// MatchBoundCount, MatchBoundAny) exposes the compiled matcher's slot
+// environment directly: packed atom keys and head facts come from
+// interned IDs with no string work, which is what the incremental
+// engine's accept filters and support counting run on. The Bindings
+// plane (EvalPinned, MatchBound) is the original string-typed surface,
+// kept as a thin conversion layer for existing callers and tests.
 
 // Ground applies the bindings to the atom, producing a fact. Every
 // variable of the atom must be bound.
@@ -24,7 +32,7 @@ func Ground(a Atom, b Bindings) (fact.Fact, error) {
 // bindings a derivation of exactly that fact must extend, and whether
 // unification succeeds (arities and constants must match, repeated
 // variables must agree). Used to enumerate or count the derivations of
-// a specific fact via MatchBound.
+// a specific fact via MatchBound and friends.
 func (r Rule) BindHead(f fact.Fact) (Bindings, bool) {
 	if r.Head.Rel != f.Rel() || len(r.Head.Args) != f.Arity() {
 		return Bindings(nil), false
@@ -47,38 +55,152 @@ func (r Rule) BindHead(f fact.Fact) (Bindings, bool) {
 	return b, true
 }
 
-// EvalPinned enumerates every satisfying valuation of the rule whose
+// Valuation is one satisfying valuation of a compiled rule, exposed to
+// EvalPinnedV callbacks. It is a view into the matcher's live slot
+// environment: valid only for the duration of the callback, and the
+// byte slices returned by the *Key methods share one scratch buffer —
+// each call invalidates the previous result.
+type Valuation struct {
+	cr  *cRule
+	env []fact.ID
+	buf []byte
+}
+
+// appendAtomKey packs (relation, grounded args) of a compiled atom
+// under the environment into the scratch buffer.
+func (v *Valuation) appendAtomKey(a cAtom) []byte {
+	buf := fact.AppendPackedIDs(v.buf[:0], a.rel)
+	for _, t := range a.terms {
+		buf = fact.AppendPackedIDs(buf, termID(t, v.env))
+	}
+	v.buf = buf
+	return buf
+}
+
+// HeadKey returns the packed key of the valuation's ground head — the
+// same bytes Fact.AppendPacked produces for the head fact. Valid until
+// the next *Key call on this valuation.
+func (v *Valuation) HeadKey() []byte { return v.appendAtomKey(v.cr.head) }
+
+// PosKey returns the packed key of positive body atom k grounded under
+// the valuation. Valid until the next *Key call.
+func (v *Valuation) PosKey(k int) []byte { return v.appendAtomKey(v.cr.pos[k]) }
+
+// NegKey returns the packed key of negated body atom k grounded under
+// the valuation. Valid until the next *Key call.
+func (v *Valuation) NegKey(k int) []byte { return v.appendAtomKey(v.cr.neg[k]) }
+
+// Head materializes the valuation's ground head fact.
+func (v *Valuation) Head() (fact.Fact, error) {
+	args := make([]fact.ID, len(v.cr.head.terms))
+	if err := v.cr.groundHead(v.env, args); err != nil {
+		return fact.Fact{}, err
+	}
+	return fact.FromIDs(v.cr.head.rel, args), nil
+}
+
+// Bindings converts the valuation to the string-typed Bindings form
+// (a fresh snapshot, safe to retain).
+func (v *Valuation) Bindings() Bindings { return v.cr.bindings(v.env) }
+
+// EvalPinnedV enumerates every satisfying valuation of the rule whose
 // positive atom at index pin ranges over pinFacts (which need not be
 // present in the instance), with all other atoms joined against the
 // indexed instance and the guards (negation, inequalities) checked
-// against it. For each valuation emit receives the ground head and the
-// live bindings — callers needing to retain the bindings must
-// snapshot. pinFacts must not contain duplicates, or valuations are
-// enumerated once per copy.
+// against it. emit receives a live Valuation — key bytes and the
+// environment are only valid during the call. pinFacts must not
+// contain duplicates, or valuations are enumerated once per copy.
 //
 // The instance must not be mutated while the call runs; concurrent
-// EvalPinned calls over the same instance are safe.
-func (x *IndexedInstance) EvalPinned(r Rule, pin int, pinFacts []fact.Fact, emit func(h fact.Fact, b Bindings) error) error {
+// EvalPinnedV calls over the same instance are safe.
+func (x *IndexedInstance) EvalPinnedV(r Rule, pin int, pinFacts []fact.Fact, emit func(v *Valuation) error) error {
 	if pin < 0 || pin >= len(r.Pos) {
 		return fmt.Errorf("datalog: EvalPinned pin %d out of range for %d positive atoms", pin, len(r.Pos))
 	}
 	if len(pinFacts) == 0 {
 		return nil
 	}
-	return matchRule(r, x.idx, x.data, pin, pinFacts, nil, func(b Bindings) error {
-		h, err := groundAtom(r.Head, b)
+	cr := compileRule(r)
+	val := &Valuation{cr: &cr}
+	return cr.match(x.idx, x.data, nil, pin, pinFacts, nil, func(env []fact.ID) error {
+		val.env = env
+		return emit(val)
+	})
+}
+
+// EvalPinned is the Bindings-plane form of EvalPinnedV: emit receives
+// the ground head and a snapshot of the bindings per valuation. New
+// code on hot paths should prefer EvalPinnedV, which does no string
+// work.
+func (x *IndexedInstance) EvalPinned(r Rule, pin int, pinFacts []fact.Fact, emit func(h fact.Fact, b Bindings) error) error {
+	return x.EvalPinnedV(r, pin, pinFacts, func(v *Valuation) error {
+		h, err := v.Head()
 		if err != nil {
 			return err
 		}
-		return emit(h, b)
+		return emit(h, v.Bindings())
 	})
 }
 
 // MatchBound enumerates every satisfying valuation of the rule that
 // extends the initial bindings (typically from BindHead), against the
-// indexed instance. The bindings passed to emit are live; snapshot to
-// retain. Counting the emissions for init = BindHead(f) counts the
-// rule's derivations of f.
+// indexed instance. The bindings passed to emit are fresh snapshots,
+// merged with any init entries for variables the rule does not use.
+// Counting the emissions for init = BindHead(f) counts the rule's
+// derivations of f.
 func (x *IndexedInstance) MatchBound(r Rule, init Bindings, emit func(Bindings) error) error {
-	return matchRuleFrom(r, x.idx, x.data, init, -1, nil, nil, emit)
+	cr := compileRule(r)
+	env, ok := cr.seedEnv(init)
+	if !ok {
+		return nil
+	}
+	return cr.match(x.idx, x.data, env, -1, nil, nil, func(env []fact.ID) error {
+		b := cr.bindings(env)
+		for name, val := range init {
+			if _, bound := b[name]; !bound {
+				b[name] = val
+			}
+		}
+		return emit(b)
+	})
+}
+
+// MatchBoundCount returns the number of satisfying valuations of the
+// rule extending the initial bindings — derivation counting without
+// per-valuation allocation. For init = BindHead(f) this is the number
+// of derivations of f through r.
+func (x *IndexedInstance) MatchBoundCount(r Rule, init Bindings) (int64, error) {
+	cr := compileRule(r)
+	env, ok := cr.seedEnv(init)
+	if !ok {
+		return 0, nil
+	}
+	var n int64
+	if err := cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
+		n++
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+var errStopMatch = fmt.Errorf("datalog: stop enumeration")
+
+// MatchBoundAny reports whether at least one satisfying valuation of
+// the rule extends the initial bindings — the derivability test of the
+// DRed rederivation pass, stopping at the first witness.
+func (x *IndexedInstance) MatchBoundAny(r Rule, init Bindings) (bool, error) {
+	cr := compileRule(r)
+	env, ok := cr.seedEnv(init)
+	if !ok {
+		return false, nil
+	}
+	err := cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
+		return errStopMatch
+	})
+	if err == errStopMatch {
+		return true, nil
+	}
+	return false, err
 }

@@ -127,11 +127,11 @@ func TestRemoveAllBatches(t *testing.T) {
 		t.Fatalf("E posting list = %v, want 2 facts", got)
 	}
 	// Removed argument keys are gone, shared ones remain.
-	if cand := x.idx.byArg[argKey{"E", 0, "a"}]; len(cand) != 0 {
-		t.Fatalf("byArg[E,0,a] = %v, want empty", cand)
+	if lp := x.idx.byArg[idxKey{fact.InternString("E"), 0, fact.InternString("a")}]; lp != nil && len(*lp) != 0 {
+		t.Fatalf("byArg[E,0,a] = %v, want empty", *lp)
 	}
-	if cand := x.idx.byArg[argKey{"E", 1, "c"}]; len(cand) != 1 {
-		t.Fatalf("byArg[E,1,c] = %v, want 1 fact", cand)
+	if lp := x.idx.byArg[idxKey{fact.InternString("E"), 1, fact.InternString("c")}]; lp == nil || len(*lp) != 1 {
+		t.Fatalf("byArg[E,1,c] = %v, want 1 fact", lp)
 	}
 }
 

@@ -16,6 +16,11 @@ import (
 // newly-derived fact; the default), and parallel (semi-naive with the
 // per-round joins fanned across a worker pool; see parallel.go).
 // Stratified programs are evaluated stratum by stratum in stratify.go.
+//
+// All loops evaluate compiled rules (compile.go): joins bind interned
+// IDs into slot environments and derived heads are deduplicated
+// against packed ID tuples, so the per-candidate and per-duplicate
+// hot path performs no string work and no allocation.
 
 // EvalMode selects the fixpoint evaluation strategy.
 type EvalMode int
@@ -30,7 +35,9 @@ const (
 	// Parallel is semi-naive with each round's (rule, delta-chunk)
 	// join tasks fanned across a worker pool. Workers derive into
 	// private buffers that are merged at the round barrier, so the
-	// result is identical to SemiNaive.
+	// result is identical to SemiNaive. Rounds whose pinned work is
+	// below the inline threshold run on the coordinator instead (see
+	// FixpointOptions.InlineBelow).
 	Parallel
 )
 
@@ -63,46 +70,14 @@ func ParseEvalMode(s string) (EvalMode, error) {
 	}
 }
 
-// Bindings maps variable names to domain values during rule matching.
+// Bindings maps variable names to domain values. It remains the
+// public valuation surface (Valuations, MatchBound, delta hooks); the
+// engines work on compiled slot environments internally and convert
+// at the API boundary.
 type Bindings map[string]fact.Value
 
-// matchAtom attempts to extend the bindings so that the atom matches
-// the fact. It returns the variables newly bound (for backtracking)
-// and whether the match succeeded.
-func matchAtom(a Atom, f fact.Fact, b Bindings) ([]string, bool) {
-	if a.Rel != f.Rel() || len(a.Args) != f.Arity() {
-		return nil, false
-	}
-	var added []string
-	for i, t := range a.Args {
-		fv := f.Arg(i)
-		if t.IsVar() {
-			if bv, ok := b[t.Var]; ok {
-				if bv != fv {
-					unbind(b, added)
-					return nil, false
-				}
-			} else {
-				b[t.Var] = fv
-				added = append(added, t.Var)
-			}
-		} else if t.Const != fv {
-			unbind(b, added)
-			return nil, false
-		}
-	}
-	return added, true
-}
-
-func unbind(b Bindings, vars []string) {
-	for _, v := range vars {
-		delete(b, v)
-	}
-}
-
 // groundAtom applies the bindings to an atom, producing a fact. All
-// variables of the atom must be bound (guaranteed after the positive
-// body is matched, by safety).
+// variables of the atom must be bound.
 func groundAtom(a Atom, b Bindings) (fact.Fact, error) {
 	args := make(fact.Tuple, len(a.Args))
 	for i, t := range a.Args {
@@ -117,150 +92,6 @@ func groundAtom(a Atom, b Bindings) (fact.Fact, error) {
 		}
 	}
 	return fact.FromTuple(a.Rel, args), nil
-}
-
-// termValue resolves a term under the bindings.
-func termValue(t Term, b Bindings) (fact.Value, bool) {
-	if !t.IsVar() {
-		return t.Const, true
-	}
-	v, ok := b[t.Var]
-	return v, ok
-}
-
-// checkGuards verifies the negative atoms and inequalities of a rule
-// under complete bindings, against the instance held in data — or,
-// when data is nil (a CloneView), against the index.
-func checkGuards(r Rule, b Bindings, idx *relIndex, data *fact.Instance) (bool, error) {
-	for _, q := range r.Ineq {
-		av, aok := termValue(q.A, b)
-		bv, bok := termValue(q.B, b)
-		if !aok || !bok {
-			return false, fmt.Errorf("datalog: unbound variable in inequality %v", q)
-		}
-		if av == bv {
-			return false, nil
-		}
-	}
-	for _, a := range r.Neg {
-		g, err := groundAtom(a, b)
-		if err != nil {
-			return false, err
-		}
-		if data != nil {
-			if data.Has(g) {
-				return false, nil
-			}
-		} else if idx.has(g) {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
-// matchRule enumerates all satisfying valuations of r's body against
-// data (indexed in idx) and calls yield for each. The bindings passed
-// to yield are live — callers needing to retain them must snapshot.
-//
-// If pin >= 0, the positive atom at that index is matched first and
-// ranges over pinFacts instead of the index: this implements both the
-// semi-naive delta discipline (pin the atom whose relation changed to
-// the newly-derived facts) and the parallel engine's work partitioning
-// (pin an atom to a chunk of its relation).
-//
-// The remaining atoms are ordered by selectivity: at each step the
-// unmatched atom with the fewest candidate facts under the current
-// bindings is matched next, so atoms with bound arguments are joined
-// before unconstrained scans.
-//
-// scanned, when non-nil, accumulates the number of candidate facts
-// iterated (the engine's join-work measure). The count is kept in a
-// local and flushed once per call, so the disabled (nil) case pays a
-// plain register add in the join loop, not a branch.
-func matchRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, scanned *int64, yield func(Bindings) error) error {
-	return matchRuleFrom(r, idx, data, nil, pin, pinFacts, scanned, yield)
-}
-
-// matchRuleFrom is matchRule starting from the given initial bindings
-// (nil means none): only valuations extending init are enumerated. The
-// incremental engine uses this to enumerate the derivations of a
-// specific head fact by pre-binding the head variables.
-func matchRuleFrom(r Rule, idx *relIndex, data *fact.Instance, init Bindings, pin int, pinFacts []fact.Fact, scanned *int64, yield func(Bindings) error) error {
-	n := len(r.Pos)
-	b := make(Bindings, len(init))
-	for v, val := range init {
-		b[v] = val
-	}
-	used := make([]bool, n)
-	var nscanned int64
-	var rec func(depth int) error
-	rec = func(depth int) error {
-		if depth == n {
-			ok, err := checkGuards(r, b, idx, data)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			return yield(b)
-		}
-		// Pick the next atom: the pinned atom first, then greedily the
-		// most selective remaining one.
-		var k int
-		var cand []fact.Fact
-		if depth == 0 && pin >= 0 {
-			k, cand = pin, pinFacts
-		} else {
-			k = -1
-			for j := 0; j < n; j++ {
-				if used[j] {
-					continue
-				}
-				c := idx.candidates(r.Pos[j], b)
-				if k < 0 || len(c) < len(cand) {
-					k, cand = j, c
-					if len(cand) == 0 {
-						break
-					}
-				}
-			}
-		}
-		used[k] = true
-		nscanned += int64(len(cand))
-		for _, f := range cand {
-			added, ok := matchAtom(r.Pos[k], f, b)
-			if !ok {
-				continue
-			}
-			if err := rec(depth + 1); err != nil {
-				used[k] = false
-				return err
-			}
-			unbind(b, added)
-		}
-		used[k] = false
-		return nil
-	}
-	err := rec(0)
-	if scanned != nil {
-		*scanned += nscanned
-	}
-	return err
-}
-
-// evalRule enumerates all satisfying valuations of r against data
-// (indexed in idx) and passes the derived head facts to emit. pin,
-// pinFacts and scanned are as for matchRule; pass pin = -1 for a full
-// evaluation.
-func evalRule(r Rule, idx *relIndex, data *fact.Instance, pin int, pinFacts []fact.Fact, scanned *int64, emit func(fact.Fact) error) error {
-	return matchRule(r, idx, data, pin, pinFacts, scanned, func(b Bindings) error {
-		h, err := groundAtom(r.Head, b)
-		if err != nil {
-			return err
-		}
-		return emit(h)
-	})
 }
 
 // Valuations enumerates every satisfying valuation of the rule against
@@ -289,6 +120,14 @@ type FixpointOptions struct {
 	// Workers sets the worker-pool size for Parallel mode; 0 means
 	// GOMAXPROCS. Ignored by the other modes.
 	Workers int
+	// InlineBelow is the Parallel-mode adaptive threshold: a round
+	// whose total pinned work (sum of pinned-fact list lengths across
+	// its tasks) is below it runs inline on the coordinator, skipping
+	// the pool barrier — small deltas cost more to distribute than to
+	// evaluate. 0 means the built-in default; negative disables
+	// inlining (every multi-task round uses the pool). The threshold
+	// changes scheduling only, never results or the event stream.
+	InlineBelow int
 	// Reg, when non-nil, receives engine metrics (counters, per-rule
 	// work, worker utilization, wall-clock spans). See internal/obs
 	// names.go for the dl.* vocabulary.
@@ -309,6 +148,23 @@ func (o FixpointOptions) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// defaultInlineBelow is the pinned-work threshold below which a
+// parallel round runs inline. Tuned on the BenchmarkParallelTC
+// topologies: chain-shaped fixpoints (many rounds of tiny deltas) run
+// almost entirely inline, grid- and random-shaped ones (few rounds of
+// wide deltas) still fan out.
+const defaultInlineBelow = 256
+
+func (o FixpointOptions) inlineBelow() int {
+	if o.InlineBelow == 0 {
+		return defaultInlineBelow
+	}
+	if o.InlineBelow < 0 {
+		return 0
+	}
+	return o.InlineBelow
 }
 
 // Fixpoint computes the minimal fixpoint of the TP operator for a
@@ -350,7 +206,7 @@ func evalStratum(rules []Rule, x *IndexedInstance, opts FixpointOptions, eo *eng
 	case Naive:
 		return naiveLoop(rules, x, opts.MaxRounds, eo)
 	case SemiNaive, Parallel:
-		return semiNaiveLoop(rules, x, opts.Mode, opts.MaxRounds, opts.workers(), eo)
+		return semiNaiveLoop(rules, x, opts, eo)
 	default:
 		return fmt.Errorf("datalog: unknown evaluation mode %d", opts.Mode)
 	}
@@ -361,6 +217,7 @@ func errMaxRounds(maxRounds int) error {
 }
 
 func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int, eo *engineObs) error {
+	crs := compileRules(rules)
 	productive := 0
 	for {
 		derived := fact.NewInstance()
@@ -368,21 +225,22 @@ func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int, eo *engineObs) e
 		if eo != nil {
 			agg = eo.newRoundAgg()
 		}
-		for i, r := range rules {
+		for i := range crs {
+			cr := &crs[i]
 			var err error
 			if agg == nil {
-				err = evalRule(r, x.idx, x.data, -1, nil, nil, func(h fact.Fact) error {
-					if !x.Has(h) {
-						derived.Add(h)
+				err = evalRuleC(cr, x.idx, x.data, -1, nil, nil, func(rel fact.ID, args []fact.ID) error {
+					if !x.hasIDs(rel, args) {
+						derived.AddIDs(rel, args)
 					}
 					return nil
 				})
 			} else {
 				var ts taskStats
-				err = evalRule(r, x.idx, x.data, -1, nil, &ts.candidates, func(h fact.Fact) error {
-					if !x.Has(h) {
+				err = evalRuleC(cr, x.idx, x.data, -1, nil, &ts.candidates, func(rel fact.ID, args []fact.ID) error {
+					if !x.hasIDs(rel, args) {
 						ts.derived++
-						derived.Add(h)
+						derived.AddIDs(rel, args)
 					} else {
 						ts.duplicates++
 					}
@@ -394,7 +252,7 @@ func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int, eo *engineObs) e
 				return err
 			}
 		}
-		eo.roundDone(Naive, len(rules), agg, derived, nil, nil)
+		eo.roundDone(Naive, len(crs), agg, derived, nil, nil)
 		if derived.Empty() {
 			return nil
 		}
@@ -403,18 +261,37 @@ func naiveLoop(rules []Rule, x *IndexedInstance, maxRounds int, eo *engineObs) e
 			return errMaxRounds(maxRounds)
 		}
 		for _, h := range derived.Facts() {
-			x.Add(h)
+			x.addNew(h)
 		}
 	}
 }
 
 // semiNaiveLoop is the delta-driven fixpoint: round 0 is a full pass;
 // afterwards each rule is re-evaluated once per positive atom whose
-// relation gained facts, with that atom pinned to the delta. With
-// workers > 1 every round's tasks run on a worker pool (parallel.go);
-// the derived facts are identical either way.
-func semiNaiveLoop(rules []Rule, x *IndexedInstance, mode EvalMode, maxRounds, workers int, eo *engineObs) error {
-	delta, err := runRound(fullPassTasks(rules, x, workers), x, workers, mode, eo)
+// relation gained facts, with that atom pinned to the delta. In
+// Parallel mode every round's tasks run on a persistent worker pool
+// (parallel.go) unless the round's pinned work falls below the inline
+// threshold; the derived facts are identical either way.
+func semiNaiveLoop(rules []Rule, x *IndexedInstance, opts FixpointOptions, eo *engineObs) error {
+	crs := compileRules(rules)
+	workers := opts.workers()
+	maxRounds := opts.MaxRounds
+	var p *workerPool
+	if opts.Mode == Parallel && workers > 1 {
+		p = newWorkerPool(workers, opts.inlineBelow())
+		defer p.close()
+	}
+	// Rounds below the inline threshold run on the coordinator, where
+	// chunking a tiny delta into per-worker fragments only multiplies
+	// matcher setup: when the chunked task list would run inline
+	// anyway, rebuild it unchunked (one task per rule and pinned atom).
+	// The threshold test matches the one runRound applies — pinned work
+	// is the same sum either way — so the decision is deterministic.
+	tasks := fullPassTasks(crs, x, workers)
+	if p != nil && len(tasks) > 1 && pinnedWork(tasks) < p.inlineBelow {
+		tasks = fullPassTasks(crs, x, 1)
+	}
+	delta, err := runRound(tasks, x, p, opts.Mode, eo)
 	if err != nil {
 		return err
 	}
@@ -424,12 +301,16 @@ func semiNaiveLoop(rules []Rule, x *IndexedInstance, mode EvalMode, maxRounds, w
 		if maxRounds > 0 && productive > maxRounds {
 			return errMaxRounds(maxRounds)
 		}
-		deltaByRel := make(map[string][]fact.Fact)
+		deltaByRel := make(map[fact.ID][]fact.Fact)
 		for _, h := range delta.Facts() {
-			x.Add(h)
-			deltaByRel[h.Rel()] = append(deltaByRel[h.Rel()], h)
+			x.addNew(h)
+			deltaByRel[h.RelID()] = append(deltaByRel[h.RelID()], h)
 		}
-		delta, err = runRound(deltaTasks(rules, deltaByRel, workers), x, workers, mode, eo)
+		tasks := deltaTasks(crs, deltaByRel, workers)
+		if p != nil && len(tasks) > 1 && pinnedWork(tasks) < p.inlineBelow {
+			tasks = deltaTasks(crs, deltaByRel, 1)
+		}
+		delta, err = runRound(tasks, x, p, opts.Mode, eo)
 		if err != nil {
 			return err
 		}

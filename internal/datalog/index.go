@@ -1,7 +1,6 @@
 package datalog
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/fact"
@@ -15,28 +14,48 @@ import (
 // IndexedInstance is built once and kept in sync fact-by-fact, so it
 // can be shared across fixpoint rounds and across the strata of a
 // stratified evaluation.
+//
+// All index keys are interned IDs (see internal/fact intern.go):
+// hashing a probe is integer work, with no string building. Posting
+// lists are appended in the deterministic order the engines add facts
+// (sorted instance enumeration, then sorted per-round deltas), so
+// candidate enumeration — and with it every derivation count in the
+// event stream — is identical across runs and worker counts.
 
-// argKey addresses the facts of a relation holding a given value at a
+// idxKey addresses the facts of a relation holding a given value at a
 // given argument position — the access path for index-assisted joins.
-type argKey struct {
-	rel string
-	pos int
-	val fact.Value
+type idxKey struct {
+	rel fact.ID
+	pos int32
+	val fact.ID
 }
 
-// relIndex indexes an instance by relation name and additionally by
+// relIndex indexes an instance by relation and additionally by
 // (relation, position, value), so that rule evaluation can narrow the
 // candidate facts for an atom whose argument is already bound.
+//
+// Posting lists are held behind pointers so the append on every add —
+// the single hottest map operation in a fixpoint — hashes the key once
+// (lookup) instead of twice (lookup + store of the grown slice
+// header).
 type relIndex struct {
-	byRel map[string][]fact.Fact
-	byArg map[argKey][]fact.Fact
+	byRel map[fact.ID]*[]fact.Fact
+	byArg map[idxKey]*[]fact.Fact
 }
 
 func newRelIndex() *relIndex {
 	return &relIndex{
-		byRel: make(map[string][]fact.Fact),
-		byArg: make(map[argKey][]fact.Fact),
+		byRel: make(map[fact.ID]*[]fact.Fact),
+		byArg: make(map[idxKey]*[]fact.Fact),
 	}
+}
+
+// rel returns the posting list of a relation (nil when empty).
+func (idx *relIndex) rel(r fact.ID) []fact.Fact {
+	if lp, ok := idx.byRel[r]; ok {
+		return *lp
+	}
+	return nil
 }
 
 func indexInstance(i *fact.Instance) *relIndex {
@@ -48,10 +67,23 @@ func indexInstance(i *fact.Instance) *relIndex {
 }
 
 func (idx *relIndex) add(f fact.Fact) {
-	idx.byRel[f.Rel()] = append(idx.byRel[f.Rel()], f)
-	for p := 0; p < f.Arity(); p++ {
-		k := argKey{f.Rel(), p, f.Arg(p)}
-		idx.byArg[k] = append(idx.byArg[k], f)
+	rel := f.RelID()
+	if lp, ok := idx.byRel[rel]; ok {
+		*lp = append(*lp, f)
+	} else {
+		lp := new([]fact.Fact)
+		*lp = append(*lp, f)
+		idx.byRel[rel] = lp
+	}
+	for p, v := range f.ArgIDs() {
+		k := idxKey{rel, int32(p), v}
+		if lp, ok := idx.byArg[k]; ok {
+			*lp = append(*lp, f)
+		} else {
+			lp := new([]fact.Fact)
+			*lp = append(*lp, f)
+			idx.byArg[k] = lp
+		}
 	}
 }
 
@@ -61,13 +93,20 @@ func (idx *relIndex) add(f fact.Fact) {
 // clone). Like every mutation, it must not run concurrently with an
 // enumeration.
 func (idx *relIndex) remove(f fact.Fact) {
-	idx.byRel[f.Rel()] = removeFact(idx.byRel[f.Rel()], f)
-	for p := 0; p < f.Arity(); p++ {
-		k := argKey{f.Rel(), p, f.Arg(p)}
-		if fs := removeFact(idx.byArg[k], f); len(fs) == 0 {
+	rel := f.RelID()
+	if lp, ok := idx.byRel[rel]; ok {
+		*lp = removeFact(*lp, f)
+	}
+	for p, v := range f.ArgIDs() {
+		k := idxKey{rel, int32(p), v}
+		lp, ok := idx.byArg[k]
+		if !ok {
+			continue
+		}
+		if fs := removeFact(*lp, f); len(fs) == 0 {
 			delete(idx.byArg, k)
 		} else {
-			idx.byArg[k] = fs
+			*lp = fs
 		}
 	}
 }
@@ -92,23 +131,30 @@ func removeFact(fs []fact.Fact, f fact.Fact) []fact.Fact {
 // pass over a list of n facts costs n·log|batch| comparisons and no
 // allocation beyond the result.
 func (idx *relIndex) removeAll(fs []fact.Fact) {
-	gone := make(map[string][]fact.Fact)
-	byArg := make(map[argKey]bool)
+	gone := make(map[fact.ID][]fact.Fact)
+	byArg := make(map[idxKey]bool)
 	for _, f := range fs {
-		gone[f.Rel()] = append(gone[f.Rel()], f)
-		for p := 0; p < f.Arity(); p++ {
-			byArg[argKey{f.Rel(), p, f.Arg(p)}] = true
+		rel := f.RelID()
+		gone[rel] = append(gone[rel], f)
+		for p, v := range f.ArgIDs() {
+			byArg[idxKey{rel, int32(p), v}] = true
 		}
 	}
 	for rel, gs := range gone {
-		sort.Slice(gs, func(i, j int) bool { return gs[i].Compare(gs[j]) < 0 })
-		idx.byRel[rel] = filterFacts(idx.byRel[rel], gs)
+		fact.SortFacts(gs)
+		if lp, ok := idx.byRel[rel]; ok {
+			*lp = filterFacts(*lp, gs)
+		}
 	}
 	for k := range byArg {
-		if kept := filterFacts(idx.byArg[k], gone[k.rel]); len(kept) == 0 {
+		lp, ok := idx.byArg[k]
+		if !ok {
+			continue
+		}
+		if kept := filterFacts(*lp, gone[k.rel]); len(kept) == 0 {
 			delete(idx.byArg, k)
 		} else {
-			idx.byArg[k] = kept
+			*lp = kept
 		}
 	}
 }
@@ -145,25 +191,48 @@ func containsFact(sorted []fact.Fact, f fact.Fact) bool {
 	return lo < len(sorted) && sorted[lo].Equal(f)
 }
 
-// has reports membership by scanning the narrowest posting list the
-// fact could appear in — the Has path for data-less views (CloneView).
-func (idx *relIndex) has(f fact.Fact) bool {
-	best := idx.byRel[f.Rel()]
-	for p := 0; p < f.Arity(); p++ {
-		cand, ok := idx.byArg[argKey{f.Rel(), p, f.Arg(p)}]
+// tupleMatches reports whether the fact is rel(args...).
+func tupleMatches(f fact.Fact, rel fact.ID, args []fact.ID) bool {
+	if f.RelID() != rel {
+		return false
+	}
+	fa := f.ArgIDs()
+	if len(fa) != len(args) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasIDs reports membership of rel(args...) by scanning the narrowest
+// posting list the fact could appear in — the membership path for
+// data-less views (CloneView), all integer compares.
+func (idx *relIndex) hasIDs(rel fact.ID, args []fact.ID) bool {
+	best := idx.rel(rel)
+	for p, v := range args {
+		lp, ok := idx.byArg[idxKey{rel, int32(p), v}]
 		if !ok {
 			return false
 		}
-		if len(cand) < len(best) {
+		if cand := *lp; len(cand) < len(best) {
 			best = cand
 		}
 	}
 	for i := range best {
-		if best[i].Equal(f) {
+		if tupleMatches(best[i], rel, args) {
 			return true
 		}
 	}
 	return false
+}
+
+// has is hasIDs for a materialized fact.
+func (idx *relIndex) has(f fact.Fact) bool {
+	return idx.hasIDs(f.RelID(), f.ArgIDs())
 }
 
 // clone copies the index maps but shares the posting-list backing
@@ -174,24 +243,58 @@ func (idx *relIndex) has(f fact.Fact) bool {
 // beyond what the clone can read.
 func (idx *relIndex) clone() *relIndex {
 	c := &relIndex{
-		byRel: make(map[string][]fact.Fact, len(idx.byRel)),
-		byArg: make(map[argKey][]fact.Fact, len(idx.byArg)),
+		byRel: make(map[fact.ID]*[]fact.Fact, len(idx.byRel)),
+		byArg: make(map[idxKey]*[]fact.Fact, len(idx.byArg)),
 	}
-	for k, fs := range idx.byRel {
-		c.byRel[k] = fs[:len(fs):len(fs)]
+	for k, lp := range idx.byRel {
+		fs := (*lp)[:len(*lp):len(*lp)]
+		c.byRel[k] = &fs
 	}
-	for k, fs := range idx.byArg {
-		c.byArg[k] = fs[:len(fs):len(fs)]
+	for k, lp := range idx.byArg {
+		fs := (*lp)[:len(*lp):len(*lp)]
+		c.byArg[k] = &fs
 	}
 	return c
 }
 
-// candidates returns the facts that can possibly match the atom under
-// the current bindings: the narrowest per-argument index over all bound
-// positions, or the full relation when no argument is bound yet. An
-// empty probe short-circuits — no narrower candidate set exists.
+// candidatesC returns the facts that can possibly match the compiled
+// atom under the current environment: the narrowest per-argument index
+// over all bound positions, or the full relation when no argument is
+// bound yet. An empty probe short-circuits — no narrower candidate set
+// exists.
+func (idx *relIndex) candidatesC(a cAtom, env []fact.ID) []fact.Fact {
+	best := idx.rel(a.rel)
+	found := false
+	for p, t := range a.terms {
+		v := t.cnst
+		if t.slot >= 0 {
+			v = env[t.slot]
+			if v == fact.NoID {
+				continue
+			}
+		}
+		lp := idx.byArg[idxKey{a.rel, int32(p), v}]
+		if lp == nil || len(*lp) == 0 {
+			return nil
+		}
+		if cand := *lp; !found || len(cand) < len(best) {
+			best = cand
+			found = true
+		}
+	}
+	return best
+}
+
+// candidates is candidatesC for a source-level atom under Bindings —
+// kept for white-box tests and ad-hoc probing; the engines compile
+// first. A bound value that was never interned cannot appear in any
+// fact, so it short-circuits to nil.
 func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
-	best := idx.byRel[a.Rel]
+	relID, ok := fact.LookupValue(fact.Value(a.Rel))
+	if !ok {
+		return nil
+	}
+	best := idx.rel(relID)
 	found := false
 	for p, t := range a.Args {
 		var v fact.Value
@@ -204,11 +307,15 @@ func (idx *relIndex) candidates(a Atom, b Bindings) []fact.Fact {
 		} else {
 			v = t.Const
 		}
-		cand := idx.byArg[argKey{a.Rel, p, v}]
-		if len(cand) == 0 {
+		id, ok := fact.LookupValue(v)
+		if !ok {
 			return nil
 		}
-		if !found || len(cand) < len(best) {
+		lp := idx.byArg[idxKey{relID, int32(p), id}]
+		if lp == nil || len(*lp) == 0 {
+			return nil
+		}
+		if cand := *lp; !found || len(cand) < len(best) {
 			best = cand
 			found = true
 		}
@@ -252,6 +359,14 @@ func (x *IndexedInstance) Add(f fact.Fact) bool {
 	return true
 }
 
+// addNew inserts a fact known to be absent — a delta fact already
+// judged against the frozen instance — skipping the membership probe
+// that Add pays.
+func (x *IndexedInstance) addNew(f fact.Fact) {
+	x.data.AddNewIDs(f.RelID(), f.ArgIDs())
+	x.idx.add(f)
+}
+
 // Remove deletes the fact from the instance and the index, reporting
 // whether it was present. Like Add, Remove must not run concurrently
 // with reads; the incremental engine removes only at phase barriers.
@@ -278,7 +393,7 @@ func (x *IndexedInstance) Clone() *IndexedInstance {
 // CloneView returns a read-only snapshot of the instance for join
 // enumeration: later mutations of the receiver are invisible to the
 // view and vice versa (there is no vice versa — mutating a view
-// panics). The view skips copying the fact-set map and shares
+// panics). The view skips copying the fact store and shares
 // posting-list storage copy-on-write with the receiver, so taking one
 // is much cheaper than Clone; membership checks (negation guards, Has)
 // are answered from the index instead. Instance is unavailable on a
@@ -315,6 +430,15 @@ func (x *IndexedInstance) Has(f fact.Fact) bool {
 	return x.data.Has(f)
 }
 
+// hasIDs is Has for an unmaterialized (rel, args) tuple — the round
+// executors' dedup test, allocation-free.
+func (x *IndexedInstance) hasIDs(rel fact.ID, args []fact.ID) bool {
+	if x.data == nil {
+		return x.idx.hasIDs(rel, args)
+	}
+	return x.data.HasIDs(rel, args)
+}
+
 // Len returns the number of facts.
 func (x *IndexedInstance) Len() int {
 	if x.data == nil {
@@ -340,12 +464,9 @@ func (x *IndexedInstance) Valuations(r Rule, emit func(Bindings) error) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	return matchRule(r, x.idx, x.data, -1, nil, nil, func(b Bindings) error {
-		snapshot := make(Bindings, len(b))
-		for v, val := range b {
-			snapshot[v] = val
-		}
-		return emit(snapshot)
+	cr := compileRule(r)
+	return cr.match(x.idx, x.data, nil, -1, nil, nil, func(env []fact.ID) error {
+		return emit(cr.bindings(env))
 	})
 }
 
@@ -362,7 +483,8 @@ func (x *IndexedInstance) ValuationsParallel(r Rule, workers int, emit func(Bind
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	chunks := chunkFacts(x.idx.byRel[r.Pos[0].Rel], workers)
+	cr := compileRule(r)
+	chunks := chunkFacts(x.idx.rel(cr.pos[0].rel), workers)
 	if len(chunks) <= 1 {
 		return x.Valuations(r, emit)
 	}
@@ -378,12 +500,8 @@ func (x *IndexedInstance) ValuationsParallel(r Rule, workers int, emit func(Bind
 		go func() {
 			defer wg.Done()
 			for c := range next {
-				errs[c] = matchRule(r, x.idx, x.data, 0, chunks[c], nil, func(b Bindings) error {
-					snapshot := make(Bindings, len(b))
-					for v, val := range b {
-						snapshot[v] = val
-					}
-					results[c] = append(results[c], snapshot)
+				errs[c] = cr.match(x.idx, x.data, nil, 0, chunks[c], nil, func(env []fact.ID) error {
+					results[c] = append(results[c], cr.bindings(env))
 					return nil
 				})
 			}

@@ -62,7 +62,10 @@ func TestEngineMetricsAcrossModes(t *testing.T) {
 	var outLen int
 	for _, mode := range []EvalMode{SemiNaive, Naive, Parallel} {
 		reg := obs.NewRegistry()
-		out, err := p.EvalStratified(in, FixpointOptions{Mode: mode, Workers: 4, Reg: reg})
+		// InlineBelow: -1 forces every multi-task round onto the pool —
+		// the fixture is small enough that adaptive inlining would
+		// otherwise leave the per-worker counters untouched.
+		out, err := p.EvalStratified(in, FixpointOptions{Mode: mode, Workers: 4, InlineBelow: -1, Reg: reg})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,19 +19,27 @@ import (
 // set semantics, so the merged result is independent of scheduling —
 // Parallel mode is deterministic and agrees with SemiNaive exactly.
 //
+// The pool is persistent: one fixpoint call spawns its workers once
+// and reuses them every round, instead of paying a goroutine spawn per
+// round — on long chains of small rounds that overhead dominated the
+// joins themselves (the BENCH_PR4 inversion). Rounds whose total
+// pinned work falls below the adaptive inline threshold skip the pool
+// entirely and run on the coordinator: distributing a dozen pinned
+// facts costs more than joining them.
+//
 // The design follows the coordination-free evaluation direction of
 // Interlandi & Tanca ("A Datalog-based Computational Model for
 // Coordination-free, Data-Parallel Systems"): semi-naive deltas
 // partition freely across evaluators as long as every evaluator sees
 // the full instance for the non-pinned atoms.
 
-// ruleTask is one unit of parallel work: evaluate rule with the
-// positive atom at index pin ranging over pinFacts (pin = -1 means a
-// full evaluation, used by single-task rules in the opening pass).
-// ruleIdx is the rule's index within its stratum, keying per-rule
-// instrumentation.
+// ruleTask is one unit of parallel work: evaluate the compiled rule
+// with the positive atom at index pin ranging over pinFacts (pin = -1
+// means a full evaluation, used by body-less rules and single-worker
+// passes). ruleIdx is the rule's index within its stratum, keying
+// per-rule instrumentation.
 type ruleTask struct {
-	rule     Rule
+	cr       *cRule
 	ruleIdx  int
 	pin      int
 	pinFacts []fact.Fact
@@ -69,15 +77,16 @@ func chunkFacts(facts []fact.Fact, workers int) [][]fact.Fact {
 // positive body is partitioned by pinning its first atom to chunks of
 // that atom's relation; rules with empty positive bodies evaluate as a
 // single unpinned task.
-func fullPassTasks(rules []Rule, x *IndexedInstance, workers int) []ruleTask {
-	tasks := make([]ruleTask, 0, len(rules))
-	for i, r := range rules {
-		if workers <= 1 || len(r.Pos) == 0 {
-			tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: -1})
+func fullPassTasks(crs []cRule, x *IndexedInstance, workers int) []ruleTask {
+	tasks := make([]ruleTask, 0, len(crs))
+	for i := range crs {
+		cr := &crs[i]
+		if workers <= 1 || len(cr.pos) == 0 {
+			tasks = append(tasks, ruleTask{cr: cr, ruleIdx: i, pin: -1})
 			continue
 		}
-		for _, chunk := range chunkFacts(x.idx.byRel[r.Pos[0].Rel], workers) {
-			tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: 0, pinFacts: chunk})
+		for _, chunk := range chunkFacts(x.idx.rel(cr.pos[0].rel), workers) {
+			tasks = append(tasks, ruleTask{cr: cr, ruleIdx: i, pin: 0, pinFacts: chunk})
 		}
 	}
 	return tasks
@@ -86,42 +95,170 @@ func fullPassTasks(rules []Rule, x *IndexedInstance, workers int) []ruleTask {
 // deltaTasks builds a semi-naive round's tasks: for every rule and
 // every positive atom whose relation gained facts last round, the atom
 // is pinned to the delta (chunked across the pool when parallel).
-func deltaTasks(rules []Rule, deltaByRel map[string][]fact.Fact, workers int) []ruleTask {
+func deltaTasks(crs []cRule, deltaByRel map[fact.ID][]fact.Fact, workers int) []ruleTask {
 	var tasks []ruleTask
-	for i, r := range rules {
-		for k := range r.Pos {
-			dfacts := deltaByRel[r.Pos[k].Rel]
+	for i := range crs {
+		cr := &crs[i]
+		for k := range cr.pos {
+			dfacts := deltaByRel[cr.pos[k].rel]
 			if len(dfacts) == 0 {
 				continue
 			}
 			if workers <= 1 {
-				tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: k, pinFacts: dfacts})
+				tasks = append(tasks, ruleTask{cr: cr, ruleIdx: i, pin: k, pinFacts: dfacts})
 				continue
 			}
 			for _, chunk := range chunkFacts(dfacts, workers) {
-				tasks = append(tasks, ruleTask{rule: r, ruleIdx: i, pin: k, pinFacts: chunk})
+				tasks = append(tasks, ruleTask{cr: cr, ruleIdx: i, pin: k, pinFacts: chunk})
 			}
 		}
 	}
 	return tasks
 }
 
+// roundCtx is one pooled round's shared state: per-worker derivation
+// buffers, errors and instrumentation, all indexed by worker id and
+// merged by the coordinator after the barrier.
+type roundCtx struct {
+	x      *IndexedInstance
+	eo     *engineObs
+	bufs   []*fact.Instance
+	errs   []error
+	aggs   []*roundAgg
+	wTasks []int64
+	wBusy  []int64
+	failed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// poolTask couples a task with its round.
+type poolTask struct {
+	t  ruleTask
+	rc *roundCtx
+}
+
+// workerPool is the persistent executor owned by one semi-naive
+// fixpoint call: workers are spawned lazily on the first pooled round
+// and live until close. Rounds are separated by the roundCtx barrier,
+// so workers never observe a mutating instance.
+type workerPool struct {
+	workers     int
+	inlineBelow int
+	tasks       chan poolTask
+	started     bool
+}
+
+func newWorkerPool(workers, inlineBelow int) *workerPool {
+	return &workerPool{
+		workers:     workers,
+		inlineBelow: inlineBelow,
+		tasks:       make(chan poolTask, workers*chunkTarget),
+	}
+}
+
+func (p *workerPool) start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	for w := 0; w < p.workers; w++ {
+		go p.run(w)
+	}
+}
+
+func (p *workerPool) close() {
+	if p.started {
+		close(p.tasks)
+	}
+}
+
+func (p *workerPool) run(w int) {
+	for pt := range p.tasks {
+		runPoolTask(pt, w)
+		pt.rc.wg.Done()
+	}
+}
+
+func runPoolTask(pt poolTask, w int) {
+	rc := pt.rc
+	if rc.failed.Load() {
+		return // drain remaining tasks after a failure
+	}
+	buf := rc.bufs[w]
+	if buf == nil {
+		buf = fact.NewInstance()
+		rc.bufs[w] = buf
+	}
+	t := pt.t
+	var err error
+	if rc.eo == nil {
+		err = evalRuleC(t.cr, rc.x.idx, rc.x.data, t.pin, t.pinFacts, nil, func(rel fact.ID, args []fact.ID) error {
+			if !rc.x.hasIDs(rel, args) {
+				buf.AddIDs(rel, args)
+			}
+			return nil
+		})
+	} else {
+		agg := rc.aggs[w]
+		if agg == nil {
+			agg = rc.eo.newRoundAgg()
+			rc.aggs[w] = agg
+		}
+		start := time.Now()
+		var ts taskStats
+		err = evalRuleC(t.cr, rc.x.idx, rc.x.data, t.pin, t.pinFacts, &ts.candidates, func(rel fact.ID, args []fact.ID) error {
+			if !rc.x.hasIDs(rel, args) {
+				ts.derived++
+				buf.AddIDs(rel, args)
+			} else {
+				ts.duplicates++
+			}
+			return nil
+		})
+		agg.addTask(t.ruleIdx, ts)
+		rc.wTasks[w]++
+		rc.wBusy[w] += time.Since(start).Nanoseconds()
+	}
+	if err != nil {
+		rc.errs[w] = err
+		rc.failed.Store(true)
+	}
+}
+
+// pinnedWork estimates a round's join fan-out as the total number of
+// pinned facts across its tasks (an unpinned task counts 1): the
+// adaptive-inline measure compared against the pool threshold.
+func pinnedWork(tasks []ruleTask) int {
+	work := 0
+	for i := range tasks {
+		if n := len(tasks[i].pinFacts); n > 0 {
+			work += n
+		} else {
+			work++
+		}
+	}
+	return work
+}
+
 // runRound evaluates one round's tasks against the frozen x and
-// returns the newly derived facts (those not already in x). With
-// workers <= 1 the tasks run inline; otherwise they are distributed
-// over a pool and the per-worker buffers are merged at the barrier.
+// returns the newly derived facts (those not already in x). With no
+// pool — or when the round's pinned work is below the pool's inline
+// threshold — the tasks run inline on the coordinator; otherwise they
+// are distributed over the persistent pool and the per-worker buffers
+// are merged at the barrier.
 //
 // Instrumentation (eo non-nil) accumulates per-task stats into
 // worker-private roundAggs merged at the barrier; "derived" and
-// "duplicates" are judged against the frozen x only, so the counts are
-// identical in inline and pooled execution.
-func runRound(tasks []ruleTask, x *IndexedInstance, workers int, mode EvalMode, eo *engineObs) (*fact.Instance, error) {
+// "duplicates" are judged against the frozen x only, so the counts —
+// and the emitted round event — are identical in inline and pooled
+// execution.
+func runRound(tasks []ruleTask, x *IndexedInstance, p *workerPool, mode EvalMode, eo *engineObs) (*fact.Instance, error) {
 	var stopRound func()
 	if eo != nil {
 		stopRound = eo.reg.Span(obs.DlRoundNs)
 	}
 	derived := fact.NewInstance()
-	if workers <= 1 || len(tasks) <= 1 {
+	if p == nil || len(tasks) <= 1 || pinnedWork(tasks) < p.inlineBelow {
 		var agg *roundAgg
 		if eo != nil {
 			agg = eo.newRoundAgg()
@@ -129,18 +266,18 @@ func runRound(tasks []ruleTask, x *IndexedInstance, workers int, mode EvalMode, 
 		for _, t := range tasks {
 			var err error
 			if agg == nil {
-				err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, nil, func(h fact.Fact) error {
-					if !x.Has(h) {
-						derived.Add(h)
+				err = evalRuleC(t.cr, x.idx, x.data, t.pin, t.pinFacts, nil, func(rel fact.ID, args []fact.ID) error {
+					if !x.hasIDs(rel, args) {
+						derived.AddIDs(rel, args)
 					}
 					return nil
 				})
 			} else {
 				var ts taskStats
-				err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, &ts.candidates, func(h fact.Fact) error {
-					if !x.Has(h) {
+				err = evalRuleC(t.cr, x.idx, x.data, t.pin, t.pinFacts, &ts.candidates, func(rel fact.ID, args []fact.ID) error {
+					if !x.hasIDs(rel, args) {
 						ts.derived++
-						derived.Add(h)
+						derived.AddIDs(rel, args)
 					} else {
 						ts.duplicates++
 					}
@@ -159,87 +296,42 @@ func runRound(tasks []ruleTask, x *IndexedInstance, workers int, mode EvalMode, 
 		return derived, nil
 	}
 
-	if workers > len(tasks) {
-		workers = len(tasks)
+	p.start()
+	rc := &roundCtx{
+		x:    x,
+		eo:   eo,
+		bufs: make([]*fact.Instance, p.workers),
+		errs: make([]error, p.workers),
 	}
-	taskCh := make(chan ruleTask)
-	bufs := make([]*fact.Instance, workers)
-	errs := make([]error, workers)
-	var aggs []*roundAgg
-	var workerTasks, workerBusy []int64
 	if eo != nil {
-		aggs = make([]*roundAgg, workers)
-		workerTasks = make([]int64, workers)
-		workerBusy = make([]int64, workers)
+		rc.aggs = make([]*roundAgg, p.workers)
+		rc.wTasks = make([]int64, p.workers)
+		rc.wBusy = make([]int64, p.workers)
 	}
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			buf := fact.NewInstance()
-			bufs[w] = buf
-			var agg *roundAgg
-			if eo != nil {
-				agg = eo.newRoundAgg()
-				aggs[w] = agg
-			}
-			for t := range taskCh {
-				if failed.Load() {
-					continue // drain remaining tasks after a failure
-				}
-				var err error
-				if agg == nil {
-					err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, nil, func(h fact.Fact) error {
-						if !x.Has(h) {
-							buf.Add(h)
-						}
-						return nil
-					})
-				} else {
-					start := time.Now()
-					var ts taskStats
-					err = evalRule(t.rule, x.idx, x.data, t.pin, t.pinFacts, &ts.candidates, func(h fact.Fact) error {
-						if !x.Has(h) {
-							ts.derived++
-							buf.Add(h)
-						} else {
-							ts.duplicates++
-						}
-						return nil
-					})
-					agg.addTask(t.ruleIdx, ts)
-					workerTasks[w]++
-					workerBusy[w] += time.Since(start).Nanoseconds()
-				}
-				if err != nil {
-					errs[w] = err
-					failed.Store(true)
-				}
-			}
-		}(w)
+	rc.wg.Add(len(tasks))
+	for i := range tasks {
+		p.tasks <- poolTask{t: tasks[i], rc: rc}
 	}
-	for _, t := range tasks {
-		taskCh <- t
-	}
-	close(taskCh)
-	wg.Wait()
+	rc.wg.Wait()
 
-	for _, err := range errs {
+	for _, err := range rc.errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	for _, buf := range bufs {
-		derived.AddAll(buf)
+	for _, buf := range rc.bufs {
+		if buf != nil {
+			derived.AddAll(buf)
+		}
 	}
 	if eo != nil {
 		agg := eo.newRoundAgg()
-		for _, a := range aggs {
-			agg.merge(a)
+		for _, a := range rc.aggs {
+			if a != nil {
+				agg.merge(a)
+			}
 		}
-		eo.roundDone(mode, len(tasks), agg, derived, workerTasks, workerBusy)
+		eo.roundDone(mode, len(tasks), agg, derived, rc.wTasks, rc.wBusy)
 		stopRound()
 	}
 	return derived, nil

@@ -8,108 +8,196 @@ import (
 // Instance is a database instance: a finite set of facts. The zero
 // value is not usable; create instances with NewInstance. Instances
 // have set semantics (adding a fact twice is a no-op).
+//
+// Facts are stored columnar: per (relation, arity) the argument
+// tuples live in flat parallel slices of interned IDs with a
+// packed-key hash index (see columnar.go). Membership and mutation
+// are integer work — no fact key strings are built — and the ID-level
+// accessors (HasIDs, AddIDs) let the fixpoint engines deduplicate
+// derived tuples without materializing a Fact at all.
 type Instance struct {
-	facts map[string]Fact
+	rels map[colKey]*column
+	n    int
+	// Write-path memo for colFor: fixpoint engines insert long runs of
+	// facts into the same relation, and the memo turns the per-insert
+	// column lookup into a comparison. Only the mutation path uses it —
+	// concurrent readers go through col, which never touches the memo.
+	lastK colKey
+	lastC *column
+}
+
+// SortFacts sorts facts in place into the package's canonical
+// deterministic order — by relation name, then argument tuple
+// (Fact.Compare). This is the single definition of the
+// deterministic-iteration contract: every sorted fact slice the
+// package (and the engines above it) exposes uses it.
+func SortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
 }
 
 // NewInstance creates an instance containing the given facts.
 func NewInstance(facts ...Fact) *Instance {
-	i := &Instance{facts: make(map[string]Fact, len(facts))}
+	i := &Instance{rels: make(map[colKey]*column)}
 	for _, f := range facts {
 		i.Add(f)
 	}
 	return i
 }
 
+func (i *Instance) col(rel ID, arity int) *column {
+	return i.rels[colKey{rel: rel, arity: int32(arity)}]
+}
+
+func (i *Instance) colFor(rel ID, arity int) *column {
+	k := colKey{rel: rel, arity: int32(arity)}
+	if i.lastC != nil && i.lastK == k {
+		return i.lastC
+	}
+	c := i.rels[k]
+	if c == nil {
+		c = newColumn(arity)
+		i.rels[k] = c
+	}
+	i.lastK, i.lastC = k, c
+	return c
+}
+
 // Add inserts f, reporting whether it was newly added.
 func (i *Instance) Add(f Fact) bool {
-	k := f.Key()
-	if _, ok := i.facts[k]; ok {
+	return i.AddIDs(f.rel, f.args)
+}
+
+// AddIDs inserts the fact rel(args...) given as interned IDs,
+// reporting whether it was newly added. The IDs are copied; the
+// caller keeps args.
+func (i *Instance) AddIDs(rel ID, args []ID) bool {
+	if !i.colFor(rel, len(args)).add(args) {
 		return false
 	}
-	i.facts[k] = f
+	i.n++
 	return true
+}
+
+// AddNewIDs inserts the fact rel(args...) asserting it is absent,
+// skipping the membership probe. The fixpoint engines use it to apply
+// deltas that were already judged against the instance; inserting a
+// duplicate through it corrupts the set. The IDs are copied.
+func (i *Instance) AddNewIDs(rel ID, args []ID) {
+	i.colFor(rel, len(args)).addNew(args)
+	i.n++
 }
 
 // AddAll inserts every fact of j, reporting how many were newly added.
 func (i *Instance) AddAll(j *Instance) int {
 	n := 0
-	for k, f := range j.facts {
-		if _, ok := i.facts[k]; !ok {
-			i.facts[k] = f
-			n++
+	for k, c := range j.rels {
+		if c.rows() == 0 {
+			continue
 		}
+		dst := i.colFor(k.rel, int(k.arity))
+		c.each(func(args []ID) bool {
+			if dst.add(args) {
+				i.n++
+				n++
+			}
+			return true
+		})
 	}
 	return n
 }
 
 // Remove deletes f, reporting whether it was present.
 func (i *Instance) Remove(f Fact) bool {
-	k := f.Key()
-	if _, ok := i.facts[k]; !ok {
+	c := i.col(f.rel, len(f.args))
+	if c == nil || !c.remove(f.args) {
 		return false
 	}
-	delete(i.facts, k)
+	i.n--
 	return true
 }
 
 // RemoveAll deletes every fact of j from i.
 func (i *Instance) RemoveAll(j *Instance) {
-	for k := range j.facts {
-		delete(i.facts, k)
+	for k, c := range j.rels {
+		dst := i.col(k.rel, int(k.arity))
+		if dst == nil {
+			continue
+		}
+		c.each(func(args []ID) bool {
+			if dst.remove(args) {
+				i.n--
+			}
+			return true
+		})
 	}
 }
 
 // Has reports whether f is in the instance.
 func (i *Instance) Has(f Fact) bool {
-	_, ok := i.facts[f.Key()]
-	return ok
+	return i.HasIDs(f.rel, f.args)
+}
+
+// HasIDs reports whether the fact rel(args...) given as interned IDs
+// is in the instance.
+func (i *Instance) HasIDs(rel ID, args []ID) bool {
+	c := i.col(rel, len(args))
+	return c != nil && c.has(args)
 }
 
 // Len returns |I|, the number of facts.
-func (i *Instance) Len() int { return len(i.facts) }
+func (i *Instance) Len() int { return i.n }
 
 // Empty reports whether the instance contains no facts.
-func (i *Instance) Empty() bool { return len(i.facts) == 0 }
+func (i *Instance) Empty() bool { return i.n == 0 }
 
 // Facts returns all facts in deterministic (sorted) order.
 func (i *Instance) Facts() []Fact {
-	fs := make([]Fact, 0, len(i.facts))
-	for _, f := range i.facts {
-		fs = append(fs, f)
+	fs := make([]Fact, 0, i.n)
+	for k, c := range i.rels {
+		for r := 0; r < c.rows(); r++ {
+			fs = append(fs, c.fact(k.rel, r))
+		}
 	}
-	sort.Slice(fs, func(a, b int) bool { return fs[a].Compare(fs[b]) < 0 })
+	SortFacts(fs)
 	return fs
 }
 
 // Each calls fn for every fact in unspecified order; it stops early if
 // fn returns false. Use Facts for deterministic order.
 func (i *Instance) Each(fn func(Fact) bool) {
-	for _, f := range i.facts {
-		if !fn(f) {
-			return
+	for k, c := range i.rels {
+		for r := 0; r < c.rows(); r++ {
+			if !fn(c.fact(k.rel, r)) {
+				return
+			}
 		}
 	}
 }
 
 // Rel returns the facts of relation rel in sorted order.
 func (i *Instance) Rel(rel string) []Fact {
+	id := InternString(rel)
 	var fs []Fact
-	for _, f := range i.facts {
-		if f.Rel() == rel {
-			fs = append(fs, f)
+	for k, c := range i.rels {
+		if k.rel != id {
+			continue
+		}
+		for r := 0; r < c.rows(); r++ {
+			fs = append(fs, c.fact(k.rel, r))
 		}
 	}
-	sort.Slice(fs, func(a, b int) bool { return fs[a].Compare(fs[b]) < 0 })
+	SortFacts(fs)
 	return fs
 }
 
 // ADom returns adom(I), the set of all values occurring in facts of I.
 func (i *Instance) ADom() ValueSet {
 	s := make(ValueSet)
-	for _, f := range i.facts {
-		for n := 0; n < f.Arity(); n++ {
-			s.Add(f.Arg(n))
+	for _, c := range i.rels {
+		for _, col := range c.cols {
+			for _, id := range col {
+				s.Add(Value(symbols.lookup(id)))
+			}
 		}
 	}
 	return s
@@ -118,8 +206,10 @@ func (i *Instance) ADom() ValueSet {
 // Schema returns the minimal schema the instance is over.
 func (i *Instance) Schema() Schema {
 	s := make(Schema)
-	for _, f := range i.facts {
-		s[f.Rel()] = f.Arity()
+	for k, c := range i.rels {
+		if c.rows() > 0 {
+			s[symbols.lookup(k.rel)] = int(k.arity)
+		}
 	}
 	return s
 }
@@ -127,44 +217,57 @@ func (i *Instance) Schema() Schema {
 // Restrict returns I|σ, the maximal subset of I over the schema σ.
 func (i *Instance) Restrict(s Schema) *Instance {
 	out := NewInstance()
-	for k, f := range i.facts {
-		if s.Covers(f) {
-			out.facts[k] = f
+	for k, c := range i.rels {
+		rel := symbols.lookup(k.rel)
+		if ar, ok := s.Arity(rel); !ok || ar != int(k.arity) {
+			continue
 		}
+		dst := out.colFor(k.rel, int(k.arity))
+		c.each(func(args []ID) bool {
+			if dst.add(args) {
+				out.n++
+			}
+			return true
+		})
 	}
 	return out
 }
 
 // RestrictRel returns the subset of I whose facts use the given relation name.
 func (i *Instance) RestrictRel(rel string) *Instance {
+	id := InternString(rel)
 	out := NewInstance()
-	for k, f := range i.facts {
-		if f.Rel() == rel {
-			out.facts[k] = f
+	for k, c := range i.rels {
+		if k.rel != id {
+			continue
 		}
+		out.rels[k] = c.clone()
+		out.n += c.rows()
 	}
 	return out
 }
 
 // Union returns a fresh instance I ∪ J.
 func (i *Instance) Union(j *Instance) *Instance {
-	out := NewInstance()
-	for k, f := range i.facts {
-		out.facts[k] = f
-	}
-	for k, f := range j.facts {
-		out.facts[k] = f
-	}
+	out := i.Clone()
+	out.AddAll(j)
 	return out
 }
 
 // Minus returns a fresh instance I \ J.
 func (i *Instance) Minus(j *Instance) *Instance {
 	out := NewInstance()
-	for k, f := range i.facts {
-		if _, ok := j.facts[k]; !ok {
-			out.facts[k] = f
-		}
+	for k, c := range i.rels {
+		other := j.col(k.rel, int(k.arity))
+		dst := out.colFor(k.rel, int(k.arity))
+		c.each(func(args []ID) bool {
+			if other == nil || !other.has(args) {
+				if dst.add(args) {
+					out.n++
+				}
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -176,10 +279,20 @@ func (i *Instance) Intersect(j *Instance) *Instance {
 		small, large = large, small
 	}
 	out := NewInstance()
-	for k, f := range small.facts {
-		if _, ok := large.facts[k]; ok {
-			out.facts[k] = f
+	for k, c := range small.rels {
+		other := large.col(k.rel, int(k.arity))
+		if other == nil {
+			continue
 		}
+		dst := out.colFor(k.rel, int(k.arity))
+		c.each(func(args []ID) bool {
+			if other.has(args) {
+				if dst.add(args) {
+					out.n++
+				}
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -189,8 +302,20 @@ func (i *Instance) SubsetOf(j *Instance) bool {
 	if i.Len() > j.Len() {
 		return false
 	}
-	for k := range i.facts {
-		if _, ok := j.facts[k]; !ok {
+	for k, c := range i.rels {
+		other := j.col(k.rel, int(k.arity))
+		if other == nil && c.rows() > 0 {
+			return false
+		}
+		ok := true
+		c.each(func(args []ID) bool {
+			if !other.has(args) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
 			return false
 		}
 	}
@@ -204,9 +329,9 @@ func (i *Instance) Equal(j *Instance) bool {
 
 // Clone returns an independent copy of the instance.
 func (i *Instance) Clone() *Instance {
-	out := &Instance{facts: make(map[string]Fact, len(i.facts))}
-	for k, f := range i.facts {
-		out.facts[k] = f
+	out := &Instance{rels: make(map[colKey]*column, len(i.rels)), n: i.n}
+	for k, c := range i.rels {
+		out.rels[k] = c.clone()
 	}
 	return out
 }
@@ -214,9 +339,32 @@ func (i *Instance) Clone() *Instance {
 // Map returns the instance {f.Map(h) | f ∈ I}: the image of I under
 // the value mapping h (a homomorphism application or a permutation).
 func (i *Instance) Map(h map[Value]Value) *Instance {
+	// Translate once to an ID-level mapping; identity entries are
+	// dropped so the common no-op case stays cheap.
+	hid := make(map[ID]ID, len(h))
+	for from, to := range h {
+		f, t := Intern(from), Intern(to)
+		if f != t {
+			hid[f] = t
+		}
+	}
 	out := NewInstance()
-	for _, f := range i.facts {
-		out.Add(f.Map(h))
+	for k, c := range i.rels {
+		dst := out.colFor(k.rel, int(k.arity))
+		mapped := make([]ID, int(k.arity))
+		c.each(func(args []ID) bool {
+			for x, id := range args {
+				if w, ok := hid[id]; ok {
+					mapped[x] = w
+				} else {
+					mapped[x] = id
+				}
+			}
+			if dst.add(mapped) {
+				out.n++
+			}
+			return true
+		})
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package incr
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/datalog"
 	"repro/internal/fact"
@@ -37,8 +36,10 @@ import (
 
 // applyState carries one Apply's delta bookkeeping across strata:
 // the pre-update view and the committed fact flow (everything
-// inserted/removed so far, by key and grouped by relation), which
-// later strata pin their seed joins to.
+// inserted/removed so far, keyed by packed fact key and grouped by
+// relation), which later strata pin their seed joins to. The packed
+// keys let accept filters probe the sets with the matcher's scratch
+// key bytes — no fact materialization, no allocation.
 type applyState struct {
 	st       ApplyStats
 	oldX     *datalog.IndexedInstance
@@ -58,12 +59,12 @@ func newApplyState() *applyState {
 }
 
 func (a *applyState) ins(f fact.Fact) {
-	a.insSet[f.Key()] = true
+	a.insSet[f.PackedKey()] = true
 	a.insByRel[f.Rel()] = append(a.insByRel[f.Rel()], f)
 }
 
 func (a *applyState) del(f fact.Fact) {
-	a.delSet[f.Key()] = true
+	a.delSet[f.PackedKey()] = true
 	a.delByRel[f.Rel()] = append(a.delByRel[f.Rel()], f)
 }
 
@@ -170,17 +171,17 @@ func (m *Materialization) netDelta(d Delta) (ins, ret []fact.Fact, err error) {
 		if err := m.checkBaseFact(f); err != nil {
 			return nil, nil, err
 		}
-		retM[f.Key()] = f
+		retM[f.PackedKey()] = f
 	}
 	insM := make(map[string]fact.Fact)
 	for _, f := range d.Insert {
 		if err := m.checkBaseFact(f); err != nil {
 			return nil, nil, err
 		}
-		if _, ok := retM[f.Key()]; ok {
+		if _, ok := retM[f.PackedKey()]; ok {
 			return nil, nil, fmt.Errorf("incr: %v appears in both insert and retract of one delta", f)
 		}
-		insM[f.Key()] = f
+		insM[f.PackedKey()] = f
 	}
 	for k, f := range retM {
 		if !m.base.Has(f) {
@@ -200,7 +201,7 @@ func sortFactMap(fm map[string]fact.Fact) []fact.Fact {
 	for _, f := range fm {
 		fs = append(fs, f)
 	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+	fact.SortFacts(fs)
 	return fs
 }
 
@@ -252,16 +253,17 @@ func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 				continue
 			}
 			i := i
+			nneg := len(r.Neg)
 			tasks = append(tasks, pinTask{
 				rule: r, pin: i, pinFacts: pinFacts, view: a.oldX,
-				accept: func(b datalog.Bindings) bool {
-					for _, na := range r.Neg {
-						if groundIn(na, b, a.insSet) {
+				accept: func(v *datalog.Valuation) bool {
+					for k := 0; k < nneg; k++ {
+						if a.insSet[string(v.NegKey(k))] {
 							return false
 						}
 					}
 					for j := 0; j < i; j++ {
-						if groundIn(r.Pos[j], b, a.delSet) {
+						if a.delSet[string(v.PosKey(j))] {
 							return false
 						}
 					}
@@ -278,15 +280,16 @@ func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 			conv, pin := convertNeg(r, k)
 			tasks = append(tasks, pinTask{
 				rule: conv, pin: pin, pinFacts: pinFacts, view: a.oldX,
-				accept: func(b datalog.Bindings) bool {
+				accept: func(v *datalog.Valuation) bool {
 					// A pinned fact that was deleted and re-added this
 					// apply was present before — the valuation was
-					// already blocked, nothing is lost.
-					if groundIn(r.Neg[k], b, a.delSet) {
+					// already blocked, nothing is lost. PosKey(pin) is
+					// the converted r.Neg[k].
+					if a.delSet[string(v.PosKey(pin))] {
 						return false
 					}
 					for k2 := 0; k2 < k; k2++ {
-						if groundIn(r.Neg[k2], b, a.insSet) {
+						if a.insSet[string(v.NegKey(k2))] {
 							return false
 						}
 					}
@@ -314,9 +317,9 @@ func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 			i := i
 			tasks = append(tasks, pinTask{
 				rule: r, pin: i, pinFacts: pinFacts, view: m.x,
-				accept: func(b datalog.Bindings) bool {
+				accept: func(v *datalog.Valuation) bool {
 					for j := 0; j < i; j++ {
-						if groundIn(r.Pos[j], b, a.insSet) {
+						if a.insSet[string(v.PosKey(j))] {
 							return false
 						}
 					}
@@ -333,20 +336,21 @@ func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 			conv, pin := convertNeg(r, k)
 			tasks = append(tasks, pinTask{
 				rule: conv, pin: pin, pinFacts: pinFacts, view: m.x,
-				accept: func(b datalog.Bindings) bool {
+				accept: func(v *datalog.Valuation) bool {
 					// A pinned fact that was re-added after deletion is
 					// present again — the valuation is still blocked,
-					// nothing is gained.
-					if groundIn(r.Neg[k], b, a.insSet) {
+					// nothing is gained. PosKey(pin) is the converted
+					// r.Neg[k]; j < pin ranges over r.Pos.
+					if a.insSet[string(v.PosKey(pin))] {
 						return false
 					}
-					for _, pa := range r.Pos {
-						if groundIn(pa, b, a.insSet) {
+					for j := 0; j < pin; j++ {
+						if a.insSet[string(v.PosKey(j))] {
 							return false
 						}
 					}
 					for k2 := 0; k2 < k; k2++ {
-						if groundIn(r.Neg[k2], b, a.delSet) {
+						if a.delSet[string(v.NegKey(k2))] {
 							return false
 						}
 					}
@@ -377,9 +381,9 @@ func (m *Materialization) insertWaveTasks(s *stratum, wave []fact.Fact, waveSet 
 			i := i
 			tasks = append(tasks, pinTask{
 				rule: r, pin: i, pinFacts: pinFacts, view: m.x,
-				accept: func(b datalog.Bindings) bool {
+				accept: func(v *datalog.Valuation) bool {
 					for j := 0; j < i; j++ {
-						if groundIn(r.Pos[j], b, waveSet) {
+						if waveSet[string(v.PosKey(j))] {
 							return false
 						}
 					}
@@ -417,9 +421,9 @@ func (m *Materialization) insertPropagate(s *stratum, a *applyState, sb *stratum
 // materialization and form the next wave.
 func (m *Materialization) applyIncrements(acc *headAcc, a *applyState, sb *stratumStats) []fact.Fact {
 	var wave []fact.Fact
-	for _, k := range sortedKeys(acc.counts) {
-		n := acc.counts[k]
-		f := acc.facts[k]
+	for _, e := range acc.entries() {
+		f, n := e.f, e.n
+		k := f.PackedKey()
 		a.st.SupportIncrements += n
 		if m.x.Has(f) {
 			m.support[k] += n
@@ -449,22 +453,23 @@ func (m *Materialization) deleteWaveTasks(s *stratum, a *applyState, wave []fact
 				continue
 			}
 			i := i
+			npos, nneg := len(r.Pos), len(r.Neg)
 			tasks = append(tasks, pinTask{
 				rule: r, pin: i, pinFacts: pinFacts, view: a.oldX,
-				accept: func(b datalog.Bindings) bool {
-					for _, na := range r.Neg {
-						if groundIn(na, b, a.insSet) {
+				accept: func(v *datalog.Valuation) bool {
+					for k := 0; k < nneg; k++ {
+						if a.insSet[string(v.NegKey(k))] {
 							return false
 						}
 					}
-					for j := range r.Pos {
+					for j := 0; j < npos; j++ {
 						if j == i {
 							continue
 						}
-						if groundIn(r.Pos[j], b, a.delSet) {
+						if a.delSet[string(v.PosKey(j))] {
 							return false
 						}
-						if j < i && groundIn(r.Pos[j], b, waveSet) {
+						if j < i && waveSet[string(v.PosKey(j))] {
 							return false
 						}
 					}
@@ -515,9 +520,9 @@ func (m *Materialization) countingDelete(s *stratum, a *applyState, sb *stratumS
 // loudly.
 func (m *Materialization) applyDecrements(lost *headAcc, a *applyState, sb *stratumStats) ([]fact.Fact, error) {
 	var wave []fact.Fact
-	for _, k := range sortedKeys(lost.counts) {
-		n := lost.counts[k]
-		f := lost.facts[k]
+	for _, e := range lost.entries() {
+		f, n := e.f, e.n
+		k := f.PackedKey()
 		cur, ok := m.support[k]
 		if !ok || cur < n {
 			return nil, fmt.Errorf("incr: support underflow on %v: have %d, lost %d derivations", f, cur, n)
@@ -547,7 +552,7 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 	collect := func(acc *headAcc) []fact.Fact {
 		var wave []fact.Fact
 		for _, f := range acc.sortedFacts() {
-			k := f.Key()
+			k := f.PackedKey()
 			if _, ok := cone[k]; ok {
 				continue
 			}
@@ -582,7 +587,7 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 
 	m.x.RemoveAll(dlist)
 	for _, f := range dlist {
-		delete(m.support, f.Key())
+		delete(m.support, f.PackedKey())
 	}
 	sb.overdeleted = len(dlist)
 
@@ -590,7 +595,7 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 	// cone fact against the remainder — independent reads, so parallel
 	// mode fans them out; the adds happen after the pass in sorted
 	// order either way.
-	sort.Slice(dlist, func(i, j int) bool { return dlist[i].Compare(dlist[j]) < 0 })
+	fact.SortFacts(dlist)
 	alive := make([]bool, len(dlist))
 	if err := m.parallelEach(len(dlist), func(i int) error {
 		ok, err := m.derivable(dlist[i])
@@ -626,7 +631,7 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 		}
 		back = back[:0]
 		for _, f := range acc.sortedFacts() {
-			if _, inCone := cone[f.Key()]; !inCone || m.x.Has(f) {
+			if _, inCone := cone[f.PackedKey()]; !inCone || m.x.Has(f) {
 				continue
 			}
 			m.x.Add(f)
@@ -649,14 +654,10 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 // the fact set, not the counts, so they are recomputed from the final
 // materialization.
 func (m *Materialization) recount(cone map[string]fact.Fact, a *applyState, sb *stratumStats) error {
-	keys := make([]string, 0, len(cone))
-	for k := range cone {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	counts := make([]int64, len(keys))
-	if err := m.parallelEach(len(keys), func(i int) error {
-		f := cone[keys[i]]
+	fs := sortFactMap(cone)
+	counts := make([]int64, len(fs))
+	if err := m.parallelEach(len(fs), func(i int) error {
+		f := fs[i]
 		if !m.x.Has(f) {
 			return nil
 		}
@@ -672,9 +673,9 @@ func (m *Materialization) recount(cone map[string]fact.Fact, a *applyState, sb *
 	}); err != nil {
 		return err
 	}
-	for i, k := range keys {
+	for i, f := range fs {
 		if counts[i] > 0 {
-			m.support[k] = counts[i]
+			m.support[f.PackedKey()] = counts[i]
 			sb.recounts++
 		}
 	}

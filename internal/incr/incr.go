@@ -119,8 +119,12 @@ type Materialization struct {
 	opts        Options
 	workers     int
 
-	x       *datalog.IndexedInstance
-	base    *fact.Instance
+	x    *datalog.IndexedInstance
+	base *fact.Instance
+	// support maps a derived fact's packed key (Fact.PackedKey — the
+	// interned-ID encoding, valid within this process only) to its
+	// exact derivation count. Anything persisted (snapshots) stores
+	// facts textually, never packed keys.
 	support map[string]int64
 	seq     int
 	corrupt error
@@ -274,10 +278,12 @@ func (m *Materialization) Derived() *fact.Instance { return m.x.Instance().Minus
 
 // Support returns the maintained derivation count of a derived fact
 // (0 for base or unknown facts).
-func (m *Materialization) Support(f fact.Fact) int64 { return m.support[f.Key()] }
+func (m *Materialization) Support(f fact.Fact) int64 { return m.support[f.PackedKey()] }
 
 // countDerivations counts the satisfying valuations of all rules
-// deriving exactly f, against the current materialization.
+// deriving exactly f, against the current materialization — via
+// MatchBoundCount, which enumerates compiled slot environments without
+// materializing a Bindings per valuation.
 func (m *Materialization) countDerivations(f fact.Fact) (int64, error) {
 	var n int64
 	for _, r := range m.rulesByHead[f.Rel()] {
@@ -285,32 +291,29 @@ func (m *Materialization) countDerivations(f fact.Fact) (int64, error) {
 		if !ok {
 			continue
 		}
-		if err := m.x.MatchBound(r, init, func(datalog.Bindings) error {
-			n++
-			return nil
-		}); err != nil {
+		c, err := m.x.MatchBoundCount(r, init)
+		if err != nil {
 			return 0, err
 		}
+		n += c
 	}
 	return n, nil
 }
 
-var errStop = fmt.Errorf("incr: stop enumeration")
-
 // derivable reports whether f has at least one derivation against the
-// current materialization.
+// current materialization, stopping at the first witness.
 func (m *Materialization) derivable(f fact.Fact) (bool, error) {
 	for _, r := range m.rulesByHead[f.Rel()] {
 		init, ok := r.BindHead(f)
 		if !ok {
 			continue
 		}
-		err := m.x.MatchBound(r, init, func(datalog.Bindings) error { return errStop })
-		if err == errStop {
-			return true, nil
-		}
+		ok, err := m.x.MatchBoundAny(r, init)
 		if err != nil {
 			return false, err
+		}
+		if ok {
+			return true, nil
 		}
 	}
 	return false, nil
@@ -336,7 +339,7 @@ func (m *Materialization) Verify() error {
 	derived := 0
 	for _, f := range got.Facts() {
 		if m.base.Has(f) {
-			if _, ok := m.support[f.Key()]; ok {
+			if _, ok := m.support[f.PackedKey()]; ok {
 				return fmt.Errorf("incr: base fact %v has a support entry", f)
 			}
 			continue
@@ -346,7 +349,7 @@ func (m *Materialization) Verify() error {
 		if err != nil {
 			return err
 		}
-		if have := m.support[f.Key()]; have != n {
+		if have := m.support[f.PackedKey()]; have != n {
 			return fmt.Errorf("incr: support count for %v is %d, want %d", f, have, n)
 		}
 		if n <= 0 {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/datalog"
 	"repro/internal/fact"
@@ -57,12 +56,11 @@ func (m *Materialization) Snapshot(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	facts := m.x.Instance().Facts()
-	sort.Slice(facts, func(i, j int) bool { return facts[i].Compare(facts[j]) < 0 })
+	facts := m.x.Instance().Facts() // already in canonical SortFacts order
 	for _, f := range facts {
 		line := snapshotFact{F: f.String()}
 		if !m.base.Has(f) {
-			n := m.support[f.Key()]
+			n := m.support[f.PackedKey()]
 			if n <= 0 {
 				return fmt.Errorf("incr: snapshot: derived fact %v has support %d", f, n)
 			}
@@ -136,7 +134,7 @@ func Restore(r io.Reader, opts Options) (*Materialization, error) {
 		if !m.idb.Has(f.Rel()) {
 			return nil, fmt.Errorf("incr: restore: line %d: %v carries a support count but %s is not a derived relation", line, f, f.Rel())
 		}
-		m.support[f.Key()] = sf.N
+		m.support[f.PackedKey()] = sf.N
 	}
 	return m, sc.Err()
 }

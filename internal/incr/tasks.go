@@ -20,53 +20,77 @@ type pinTask struct {
 	pinFacts []fact.Fact
 	view     *datalog.IndexedInstance
 	// accept filters valuations for exactly-once attribution (nil
-	// admits all). It must read only state frozen for the phase.
-	accept func(datalog.Bindings) bool
+	// admits all). It receives the matcher's live valuation — packed
+	// atom keys only, no Bindings materialization — and must read only
+	// state frozen for the phase.
+	accept func(v *datalog.Valuation) bool
 }
 
-// headAcc accumulates derivation counts per ground head fact.
+// headEntry is one accumulated head fact with its derivation count.
+type headEntry struct {
+	f fact.Fact
+	n int64
+}
+
+// headAcc accumulates derivation counts per ground head fact, keyed by
+// the head's packed key. Repeat heads cost one map probe and no
+// allocation; the fact is materialized only the first time a key is
+// seen.
 type headAcc struct {
-	counts map[string]int64
-	facts  map[string]fact.Fact
+	m map[string]*headEntry
 }
 
 func newHeadAcc() *headAcc {
-	return &headAcc{counts: make(map[string]int64), facts: make(map[string]fact.Fact)}
-}
-
-func (a *headAcc) add(h fact.Fact, n int64) {
-	k := h.Key()
-	if _, ok := a.counts[k]; !ok {
-		a.facts[k] = h
-	}
-	a.counts[k] += n
+	return &headAcc{m: make(map[string]*headEntry)}
 }
 
 func (a *headAcc) merge(b *headAcc) {
-	for k, n := range b.counts {
-		if _, ok := a.counts[k]; !ok {
-			a.facts[k] = b.facts[k]
+	for k, be := range b.m {
+		if e, ok := a.m[k]; ok {
+			e.n += be.n
+		} else {
+			a.m[k] = be
 		}
-		a.counts[k] += n
 	}
+}
+
+// entries returns the accumulated entries with their facts in sorted
+// order. Packed keys sort in process-dependent interning order, so all
+// observable ordering goes through fact.SortFacts instead.
+func (a *headAcc) entries() []*headEntry {
+	es := make([]*headEntry, 0, len(a.m))
+	for _, e := range a.m {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].f.Compare(es[j].f) < 0 })
+	return es
 }
 
 // sortedFacts returns the accumulated head facts in sorted order.
 func (a *headAcc) sortedFacts() []fact.Fact {
-	fs := make([]fact.Fact, 0, len(a.facts))
-	for _, f := range a.facts {
-		fs = append(fs, f)
+	fs := make([]fact.Fact, 0, len(a.m))
+	for _, e := range a.m {
+		fs = append(fs, e.f)
 	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+	fact.SortFacts(fs)
 	return fs
 }
 
 func runTask(t pinTask, acc *headAcc) error {
-	return t.view.EvalPinned(t.rule, t.pin, t.pinFacts, func(h fact.Fact, b datalog.Bindings) error {
-		if t.accept != nil && !t.accept(b) {
+	return t.view.EvalPinnedV(t.rule, t.pin, t.pinFacts, func(v *datalog.Valuation) error {
+		if t.accept != nil && !t.accept(v) {
 			return nil
 		}
-		acc.add(h, 1)
+		k := v.HeadKey()
+		if e, ok := acc.m[string(k)]; ok {
+			e.n++
+			return nil
+		}
+		h, err := v.Head()
+		if err != nil {
+			return err
+		}
+		acc.m[string(k)] = &headEntry{f: h, n: 1}
 		return nil
 	})
 }
@@ -198,17 +222,6 @@ func (m *Materialization) parallelEach(n int, fn func(i int) error) error {
 	return nil
 }
 
-// sortedKeys returns the map's keys in sorted order; phases apply
-// support updates in this order so mutation order is deterministic.
-func sortedKeys(m map[string]int64) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
-}
-
 // groupByRel groups facts by relation, preserving slice order.
 func groupByRel(fs []fact.Fact) map[string][]fact.Fact {
 	g := make(map[string][]fact.Fact)
@@ -218,25 +231,16 @@ func groupByRel(fs []fact.Fact) map[string][]fact.Fact {
 	return g
 }
 
-// keySet builds the key set of a fact slice.
+// keySet builds the packed-key set of a fact slice, probed by the
+// accept filters with the matcher's scratch key bytes.
 func keySet(fs []fact.Fact) map[string]bool {
 	s := make(map[string]bool, len(fs))
+	var buf []byte
 	for _, f := range fs {
-		s[f.Key()] = true
+		buf = f.AppendPacked(buf[:0])
+		s[string(buf)] = true
 	}
 	return s
-}
-
-// groundIn reports whether the atom grounded under b is in the key
-// set. All variables of body atoms are bound by the time accept
-// filters run, so grounding cannot fail; a failure would indicate an
-// engine bug and is treated as "not in set".
-func groundIn(a datalog.Atom, b datalog.Bindings, set map[string]bool) bool {
-	f, err := datalog.Ground(a, b)
-	if err != nil {
-		return false
-	}
-	return set[f.Key()]
 }
 
 // convertNeg rewrites the rule so its k-th negated atom becomes a
@@ -245,6 +249,8 @@ func groundIn(a datalog.Atom, b datalog.Bindings, set map[string]bool) bool {
 // dropped from the guards. Pinning the converted atom's position to
 // facts leaving (entering) the instance enumerates exactly the
 // valuations the negation admits after (blocked before) the change.
+// In the converted rule's valuations, PosKey(len(r.Pos)) addresses the
+// pinned atom and NegKey(k2) for k2 < k still addresses r.Neg[k2].
 func convertNeg(r datalog.Rule, k int) (datalog.Rule, int) {
 	conv := datalog.Rule{Head: r.Head, Ineq: r.Ineq}
 	conv.Pos = append(append([]datalog.Atom{}, r.Pos...), r.Neg[k])

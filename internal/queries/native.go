@@ -125,7 +125,7 @@ func Triangles(i *fact.Instance) []fact.Fact {
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
+	fact.SortFacts(out)
 	return out
 }
 

@@ -4,9 +4,11 @@
 # custom metric the benchmarks report (derivations/op, rounds/op,
 # msgs/run, msgs/tick, ...), so performance and work-profile changes
 # are diffable in review. Committed snapshots are named after the PR
-# that produced them (BENCH_PR<n>.json):
+# that produced them (BENCH_PR<n>.json); BENCH_PR6.json is the
+# interned/columnar ablation, diffed against BENCH_PR4.json in
+# EXPERIMENTS.md PERF.6:
 #
-#	scripts/bench.sh BENCH_PR4.json
+#	scripts/bench.sh BENCH_PR6.json
 #
 # Usage: scripts/bench.sh [out.json]   (default: stdout)
 # Env:   BENCHTIME  per-benchmark time or count (default 0.5s)
