@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick check ci cover
+.PHONY: build test race vet bench bench-quick check smoke ci cover
 
 cover:
 	$(GO) test -cover ./internal/transducer/ ./internal/core/
@@ -35,6 +35,14 @@ bench-quick:
 check:
 	sh scripts/check.sh
 
+# smoke boots an in-process calmd, drives it with the seeded load
+# generator over real TCP (serial baseline + pipelined run), and fails
+# unless both runs complete with nonzero throughput and zero protocol
+# errors.
+smoke:
+	$(GO) run ./cmd/calmload -smoke -compare -duration 500ms -read-frac 0.98
+
 # ci is the entry point GitHub Actions runs (.github/workflows/ci.yml);
-# it is deliberately the same gate as `make check`.
-ci: check
+# it is deliberately the same gate as `make check` plus the calmload
+# smoke stage.
+ci: check smoke

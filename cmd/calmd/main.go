@@ -5,24 +5,30 @@
 // protocol — on stdin/stdout by default, or on a TCP socket with
 // -listen. Deltas are applied incrementally (counting for insertions
 // and non-recursive deletions, DRed for deletions through recursion or
-// stratified negation), never by recomputation. The state can be
-// snapshotted to a file at any time and a later calmd can -restore
-// from it, answering queries byte-identically to the daemon that wrote
-// the snapshot.
+// stratified negation), never by recomputation.
+//
+// Serving is concurrent and epoch-pinned (internal/serve): a single
+// writer goroutine group-commits batched deltas and publishes
+// immutable read epochs; queries run concurrently against the epoch
+// current when they arrived, on any number of pipelined connections,
+// with responses in request order per connection and bounded queues
+// everywhere (backpressure instead of unbounded buffering). Query
+// responses stay a pure function of the serving epoch's fact set, so
+// a daemon restored with -restore from a snapshot answers
+// byte-identically to the daemon that wrote it.
 //
 // Usage:
 //
 //	calmd -program tc.dl -input graph.facts
 //	calmd -restore state.snap -listen localhost:4432
 //
-// See the protocol comment in server.go for the request/response
+// See the protocol comment in internal/serve for the request/response
 // shapes.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -31,6 +37,7 @@ import (
 	"repro/internal/fact"
 	"repro/internal/incr"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -41,7 +48,11 @@ func main() {
 		listenAddr  = flag.String("listen", "", "serve the protocol on this TCP address (default: stdin/stdout)")
 		mode        = flag.String("mode", "seminaive", "maintenance evaluation mode: seminaive or parallel")
 		workers     = flag.Int("workers", 0, "worker goroutines for -mode parallel (0 = GOMAXPROCS)")
-		metricsPath = flag.String("metrics", "", `write incr.* engine metrics as JSON to this file on exit ("-" = stdout)`)
+		writeQueue  = flag.Int("write-queue", 0, "bound of the shared write queue (0 = default 256)")
+		maxBatch    = flag.Int("max-batch", 0, "max deltas per group commit (0 = default 64)")
+		pipeline    = flag.Int("pipeline", 0, "max in-flight requests per connection (0 = default 64)")
+		snapshotDir = flag.String("snapshot-dir", "", "confine snapshot ops to bare file names inside this directory")
+		metricsPath = flag.String("metrics", "", `write incr.*/srv.* engine metrics as JSON to this file on exit ("-" = stdout)`)
 		tracePath   = flag.String("trace", "", `write structured JSONL maintenance events to this file ("-" = stdout)`)
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -66,13 +77,30 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "calmd: serving %d facts at seq %d\n", m.Len(), m.Seq())
 
-	srv := newServer(m)
+	core := serve.NewCore(m, serve.Options{
+		WriteQueue:  *writeQueue,
+		MaxBatch:    *maxBatch,
+		Pipeline:    *pipeline,
+		SnapshotDir: *snapshotDir,
+		Reg:         reg,
+	})
 	if *listenAddr == "" {
-		if err := srv.serve(os.Stdin, os.Stdout); err != nil {
+		err := core.Serve(os.Stdin, os.Stdout)
+		core.Close()
+		if err != nil {
+			closeSink()
+			writeMetrics(reg, *metricsPath)
 			fatal(err)
 		}
 	} else {
-		serveTCP(srv, *listenAddr)
+		srv, err := serve.NewTCPServer(core, *listenAddr, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "calmd: listening on %s\n", srv.Addr())
+		if err := srv.Serve(); err != nil {
+			fatal(err)
+		}
 	}
 	closeSink()
 	writeMetrics(reg, *metricsPath)
@@ -115,28 +143,6 @@ func buildMaterialization(programPath, inputPath, restorePath string, opts incr.
 		}
 	}
 	return incr.New(prog, input, opts)
-}
-
-// serveTCP accepts connections forever; each connection gets its own
-// request loop over the shared, mutex-guarded server.
-func serveTCP(srv *server, addr string) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "calmd: listening on %s\n", ln.Addr())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			fatal(err)
-		}
-		go func() {
-			defer conn.Close()
-			if err := srv.serve(conn, conn); err != nil {
-				fmt.Fprintf(os.Stderr, "calmd: connection: %v\n", err)
-			}
-		}()
-	}
 }
 
 // openTrace opens the JSONL event sink ("" = disabled, "-" = stdout).

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/incr"
+	"repro/internal/serve"
 )
 
 const testProgram = `
@@ -26,12 +27,12 @@ E(b,c)
 E(c,d)
 `
 
-// runScript drives the server's request loop in-process and returns
-// one response line per request line.
-func runScript(t *testing.T, srv *server, script []string) []string {
+// runScript drives a serving core's request loop in-process and
+// returns one response line per request line.
+func runScript(t *testing.T, core *serve.Core, script []string) []string {
 	t.Helper()
 	var out strings.Builder
-	if err := srv.serve(strings.NewReader(strings.Join(script, "\n")+"\n"), &out); err != nil {
+	if err := core.Serve(strings.NewReader(strings.Join(script, "\n")+"\n"), &out); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -41,9 +42,9 @@ func runScript(t *testing.T, srv *server, script []string) []string {
 	return lines
 }
 
-func mustOK(t *testing.T, line string) response {
+func mustOK(t *testing.T, line string) serve.Response {
 	t.Helper()
-	var resp response
+	var resp serve.Response
 	if err := json.Unmarshal([]byte(line), &resp); err != nil {
 		t.Fatalf("bad response %q: %v", line, err)
 	}
@@ -62,6 +63,13 @@ func writeTempFile(t *testing.T, name, content string) string {
 	return path
 }
 
+func newCore(t *testing.T, m *incr.Materialization) *serve.Core {
+	t.Helper()
+	core := serve.NewCore(m, serve.Options{})
+	t.Cleanup(core.Close)
+	return core
+}
+
 // TestEndToEndSnapshotRestart is the acceptance script: load a
 // program, apply deltas, query, snapshot, restart a fresh daemon from
 // the snapshot, and require byte-identical responses to the same
@@ -75,7 +83,7 @@ func TestEndToEndSnapshotRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildMaterialization: %v", err)
 	}
-	srv := newServer(m)
+	core := newCore(t, m)
 
 	queries := []string{
 		`{"op":"query","rel":"T"}`,
@@ -91,11 +99,11 @@ func TestEndToEndSnapshotRestart(t *testing.T) {
 		`{"op":"insert","facts":["E(b,c)","E(d,e)"]}`, // re-add plus a tail
 		`{"op":"snapshot","path":"` + snapPath + `"}`,
 	}, queries...)
-	resp1 := runScript(t, srv, session)
+	resp1 := runScript(t, core, session)
 	for _, line := range resp1 {
 		mustOK(t, line)
 	}
-	var tResp response
+	var tResp serve.Response
 	if err := json.Unmarshal([]byte(resp1[len(session)-len(queries)]), &tResp); err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +119,8 @@ func TestEndToEndSnapshotRestart(t *testing.T) {
 	if err := m2.Verify(); err != nil {
 		t.Fatalf("restored Verify: %v", err)
 	}
-	resp2 := runScript(t, newServer(m2), queries)
+	core2 := newCore(t, m2)
+	resp2 := runScript(t, core2, queries)
 	for i, q := range queries {
 		want := resp1[len(session)-len(queries)+i]
 		if resp2[i] != want {
@@ -120,7 +129,7 @@ func TestEndToEndSnapshotRestart(t *testing.T) {
 	}
 
 	// The restored daemon keeps maintaining incrementally.
-	resp3 := runScript(t, newServer(m2), []string{
+	resp3 := runScript(t, core2, []string{
 		`{"op":"retract","facts":["E(d,a)"]}`,
 		`{"op":"query","rel":"Off"}`,
 	})
@@ -140,7 +149,7 @@ func TestProtocolErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(m)
+	core := newCore(t, m)
 	script := []string{
 		`{"op":"nonsense"}`,
 		`not json at all`,
@@ -150,9 +159,9 @@ func TestProtocolErrors(t *testing.T) {
 		`{"op":"snapshot"}`,
 		`{"op":"ping"}`,
 	}
-	resps := runScript(t, srv, script)
+	resps := runScript(t, core, script)
 	for i := 0; i < len(script)-1; i++ {
-		var resp response
+		var resp serve.Response
 		if err := json.Unmarshal([]byte(resps[i]), &resp); err != nil {
 			t.Fatalf("bad response %q: %v", resps[i], err)
 		}
@@ -176,13 +185,13 @@ func TestSeqZeroOnWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(m)
+	core := newCore(t, m)
 	script := []string{
 		`{"op":"retract","facts":["E(zz,zz)"]}`, // no-op delta: seq stays 0
 		`{"op":"query","rel":"T"}`,
 		`{"op":"insert","facts":["E(a,b)"]}`, // first real delta: seq 1
 	}
-	resps := runScript(t, srv, script)
+	resps := runScript(t, core, script)
 
 	noop := mustOK(t, resps[0])
 	if noop.Seq == nil || *noop.Seq != 0 {
@@ -211,10 +220,11 @@ func TestServeOversizedLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	core := newCore(t, m)
 	in := `{"op":"ping"}` + "\n" + `{"op":"insert","facts":["` +
 		strings.Repeat("x", 17*1024*1024) + `"]}` + "\n"
 	var out strings.Builder
-	err = newServer(m).serve(strings.NewReader(in), &out)
+	err = core.Serve(strings.NewReader(in), &out)
 	if err == nil {
 		t.Fatal("serve returned nil for an oversized request line")
 	}
@@ -226,7 +236,7 @@ func TestServeOversizedLine(t *testing.T) {
 		t.Fatalf("got %d response lines, want ping response + final error:\n%s", len(lines), out.String())
 	}
 	mustOK(t, lines[0])
-	var last response
+	var last serve.Response
 	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
 		t.Fatalf("bad final response %q: %v", lines[1], err)
 	}
@@ -242,9 +252,10 @@ func TestServeSkipsBlankLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	core := newCore(t, m)
 	var out strings.Builder
 	in := "\n{\"op\":\"ping\"}\n\n{\"op\":\"stats\"}\n\n"
-	if err := newServer(m).serve(strings.NewReader(in), &out); err != nil {
+	if err := core.Serve(strings.NewReader(in), &out); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
 	sc := bufio.NewScanner(strings.NewReader(out.String()))

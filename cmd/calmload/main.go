@@ -1,0 +1,143 @@
+// Command calmload is a seeded load generator for calmd's concurrent
+// serving core. It drives N pipelined TCP connections with a
+// reproducible read/write mix and reports ops/sec plus p50/p99
+// latency; with -compare it also runs the serial single-connection
+// ping-pong baseline and reports the speedup, which is the PR-7
+// acceptance number (>= 2x on read-heavy mixes).
+//
+// With no -addr it boots its own in-process daemon (transitive
+// closure over a seeded chain graph) on a loopback port, so a single
+// command measures the full TCP serving stack:
+//
+//	calmload -compare -duration 2s
+//	calmload -addr localhost:4432 -conns 8 -window 64
+//	calmload -smoke -duration 300ms   # CI gate: ops > 0, errors == 0
+//
+// -format gobench emits benchmark-formatted lines that
+// scripts/bench.sh folds into the committed BENCH_PR<n>.json
+// snapshots alongside the go test benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "calmd TCP address (default: boot an in-process daemon)")
+		chain    = flag.Int("self-chain", 16, "chain-graph length seeding the in-process daemon")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		window   = flag.Int("window", 32, "max in-flight requests per connection (1 = serial ping-pong)")
+		duration = flag.Duration("duration", 2*time.Second, "send window per run")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of requests that are reads")
+		compare  = flag.Bool("compare", false, "also run the serial 1-connection baseline and report speedup")
+		smoke    = flag.Bool("smoke", false, "exit non-zero unless ops > 0 and protocol errors == 0")
+		format   = flag.String("format", "json", "output format: json or gobench")
+		out      = flag.String("out", "-", `output file ("-" = stdout)`)
+	)
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		var shutdown func()
+		var err error
+		target, shutdown, err = load.StartSelf(*chain, serve.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "calmload: in-process daemon on %s\n", target)
+	}
+
+	cfg := load.Config{
+		Addr:     target,
+		Conns:    *conns,
+		Window:   *window,
+		Duration: *duration,
+		Seed:     *seed,
+		ReadFrac: *readFrac,
+	}
+
+	var payload any
+	var results []*load.Result
+	if *compare {
+		cmp, err := load.Compare(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		payload = cmp
+		results = []*load.Result{cmp.Baseline, cmp.Pipelined}
+	} else {
+		res, err := load.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		payload = res
+		results = []*load.Result{res}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fatal(err)
+		}
+	case "gobench":
+		writeGobench(w, results)
+	default:
+		fatal(fmt.Errorf("unknown -format %q", *format))
+	}
+
+	if *smoke {
+		for _, r := range results {
+			if r.Ops == 0 || r.Errors != 0 {
+				fatal(fmt.Errorf("smoke gate failed: ops=%d errors=%d (conns=%d window=%d)",
+					r.Ops, r.Errors, r.Conns, r.Window))
+			}
+		}
+		fmt.Fprintln(os.Stderr, "calmload: smoke gate passed")
+	}
+}
+
+// writeGobench renders results in `go test -bench` line format so
+// scripts/bench.sh's renderer picks them up. Names must not end in
+// -<digits> (the renderer strips a GOMAXPROCS suffix); run shape
+// lands in the conns/window metric columns instead.
+func writeGobench(w *os.File, results []*load.Result) {
+	fmt.Fprintln(w, "pkg: repro/cmd/calmload")
+	for _, r := range results {
+		name := "BenchmarkCalmloadPipelined"
+		if r.Conns == 1 && r.Window == 1 {
+			name = "BenchmarkCalmloadSerial"
+		}
+		nsPerOp := int64(0)
+		if r.Ops > 0 {
+			nsPerOp = int64(r.DurationSec * 1e9 / float64(r.Ops))
+		}
+		fmt.Fprintf(w, "%s %d %d ns/op %.0f ops/s %d p50-ns %d p99-ns %d conns %d window %d errors\n",
+			name, r.Ops, nsPerOp, r.OpsPerSec, r.P50Ns, r.P99Ns, r.Conns, r.Window, r.Errors)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "calmload: %v\n", err)
+	os.Exit(1)
+}

@@ -103,6 +103,22 @@ func (v *Valuation) Head() (fact.Fact, error) {
 // (a fresh snapshot, safe to retain).
 func (v *Valuation) Bindings() Bindings { return v.cr.bindings(v.env) }
 
+// CompiledRule is a rule pre-compiled to the matcher's slot/ID form.
+// Compiling is pure per-rule setup (interning, slot numbering); a
+// maintenance engine evaluating the same rules on every delta
+// compiles once and reuses the result. A CompiledRule is immutable
+// and safe to share across goroutines.
+type CompiledRule struct{ cr cRule }
+
+// Compile pre-compiles a rule for the *C evaluation entry points.
+func Compile(r Rule) *CompiledRule {
+	cr := compileRule(r)
+	return &CompiledRule{cr: cr}
+}
+
+// Rule returns the source rule the compilation came from.
+func (c *CompiledRule) Rule() Rule { return c.cr.src }
+
 // EvalPinnedV enumerates every satisfying valuation of the rule whose
 // positive atom at index pin ranges over pinFacts (which need not be
 // present in the instance), with all other atoms joined against the
@@ -114,15 +130,20 @@ func (v *Valuation) Bindings() Bindings { return v.cr.bindings(v.env) }
 // The instance must not be mutated while the call runs; concurrent
 // EvalPinnedV calls over the same instance are safe.
 func (x *IndexedInstance) EvalPinnedV(r Rule, pin int, pinFacts []fact.Fact, emit func(v *Valuation) error) error {
-	if pin < 0 || pin >= len(r.Pos) {
-		return fmt.Errorf("datalog: EvalPinned pin %d out of range for %d positive atoms", pin, len(r.Pos))
+	return x.EvalPinnedVC(Compile(r), pin, pinFacts, emit)
+}
+
+// EvalPinnedVC is EvalPinnedV over a pre-compiled rule — the hot-path
+// form for engines that evaluate a fixed rule set repeatedly.
+func (x *IndexedInstance) EvalPinnedVC(c *CompiledRule, pin int, pinFacts []fact.Fact, emit func(v *Valuation) error) error {
+	if pin < 0 || pin >= len(c.cr.pos) {
+		return fmt.Errorf("datalog: EvalPinned pin %d out of range for %d positive atoms", pin, len(c.cr.pos))
 	}
 	if len(pinFacts) == 0 {
 		return nil
 	}
-	cr := compileRule(r)
-	val := &Valuation{cr: &cr}
-	return cr.match(x.idx, x.data, nil, pin, pinFacts, nil, func(env []fact.ID) error {
+	val := &Valuation{cr: &c.cr}
+	return c.cr.match(x.idx, x.data, nil, pin, pinFacts, nil, func(env []fact.ID) error {
 		val.env = env
 		return emit(val)
 	})
@@ -170,13 +191,17 @@ func (x *IndexedInstance) MatchBound(r Rule, init Bindings, emit func(Bindings) 
 // per-valuation allocation. For init = BindHead(f) this is the number
 // of derivations of f through r.
 func (x *IndexedInstance) MatchBoundCount(r Rule, init Bindings) (int64, error) {
-	cr := compileRule(r)
-	env, ok := cr.seedEnv(init)
+	return x.MatchBoundCountC(Compile(r), init)
+}
+
+// MatchBoundCountC is MatchBoundCount over a pre-compiled rule.
+func (x *IndexedInstance) MatchBoundCountC(c *CompiledRule, init Bindings) (int64, error) {
+	env, ok := c.cr.seedEnv(init)
 	if !ok {
 		return 0, nil
 	}
 	var n int64
-	if err := cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
+	if err := c.cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
 		n++
 		return nil
 	}); err != nil {
@@ -191,12 +216,16 @@ var errStopMatch = fmt.Errorf("datalog: stop enumeration")
 // the rule extends the initial bindings — the derivability test of the
 // DRed rederivation pass, stopping at the first witness.
 func (x *IndexedInstance) MatchBoundAny(r Rule, init Bindings) (bool, error) {
-	cr := compileRule(r)
-	env, ok := cr.seedEnv(init)
+	return x.MatchBoundAnyC(Compile(r), init)
+}
+
+// MatchBoundAnyC is MatchBoundAny over a pre-compiled rule.
+func (x *IndexedInstance) MatchBoundAnyC(c *CompiledRule, init Bindings) (bool, error) {
+	env, ok := c.cr.seedEnv(init)
 	if !ok {
 		return false, nil
 	}
-	err := cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
+	err := c.cr.match(x.idx, x.data, env, -1, nil, nil, func([]fact.ID) error {
 		return errStopMatch
 	})
 	if err == errStopMatch {

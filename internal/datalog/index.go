@@ -402,6 +402,86 @@ func (x *IndexedInstance) CloneView() *IndexedInstance {
 	return &IndexedInstance{idx: x.idx.clone(), n: x.data.Len()}
 }
 
+// RelView is a read-only, point-in-time snapshot of the instance's
+// per-relation posting lists — the storage behind the serving layer's
+// MVCC read epochs (internal/incr Epoch). Taking one costs O(number of
+// relations): the posting-list backing arrays are shared with the
+// receiver copy-on-write, exactly like clone, with each shared slice's
+// capacity capped at its length so later appends on the live index
+// reallocate past what the view can read and removals (which are
+// always copy-on-write) swap in fresh arrays the view never sees.
+//
+// Unlike CloneView — which also clones the (relation, position, value)
+// join index so rule evaluation can run against it — a RelView carries
+// only the by-relation lists, which is all enumeration-shaped reads
+// (query, facts, stats) need. That keeps publication cheap enough to
+// run once per group commit even under write-heavy load.
+//
+// A RelView is immutable and safe for concurrent use by any number of
+// readers, concurrently with mutations of the IndexedInstance it was
+// taken from.
+type RelView struct {
+	rels map[fact.ID][]fact.Fact
+	n    int
+}
+
+// RelView takes a read-only per-relation snapshot of the current
+// instance. It must not run concurrently with Add or Remove (the
+// serving layer's single writer publishes views at commit barriers).
+func (x *IndexedInstance) RelView() *RelView {
+	v := &RelView{rels: make(map[fact.ID][]fact.Fact, len(x.idx.byRel)), n: x.Len()}
+	for k, lp := range x.idx.byRel {
+		if len(*lp) == 0 {
+			continue
+		}
+		v.rels[k] = (*lp)[:len(*lp):len(*lp)]
+	}
+	return v
+}
+
+// Len returns the number of facts in the view.
+func (v *RelView) Len() int { return v.n }
+
+// Rel returns the facts of one relation in canonical sorted order
+// (fact.SortFacts). The result is freshly allocated — the shared
+// posting lists are never reordered in place.
+func (v *RelView) Rel(rel string) []fact.Fact {
+	id, ok := fact.LookupValue(fact.Value(rel))
+	if !ok {
+		return nil
+	}
+	fs := v.rels[id]
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]fact.Fact, len(fs))
+	copy(out, fs)
+	fact.SortFacts(out)
+	return out
+}
+
+// Facts returns every fact in the view in canonical sorted order.
+func (v *RelView) Facts() []fact.Fact {
+	out := make([]fact.Fact, 0, v.n)
+	for _, fs := range v.rels {
+		out = append(out, fs...)
+	}
+	fact.SortFacts(out)
+	return out
+}
+
+// Has reports whether the fact is in the view, by scanning its
+// relation's posting list. Serving reads are enumeration-shaped; this
+// linear probe exists for tests and invariant checks, not hot paths.
+func (v *RelView) Has(f fact.Fact) bool {
+	for _, g := range v.rels[f.RelID()] {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
 // RemoveAll deletes a batch of facts, skipping those not present, and
 // returns how many were removed. The index update is one pass per
 // touched posting list — use this over per-fact Remove when deleting

@@ -2,7 +2,6 @@ package fact
 
 import (
 	"encoding/binary"
-	"fmt"
 	"strings"
 )
 
@@ -184,6 +183,25 @@ func (f Fact) Map(h map[Value]Value) Fact {
 }
 
 // String renders the fact in the conventional syntax, e.g. "E(a,b)".
+// Built directly rather than via fmt: rendering is on calmd's query
+// hot path (a cold epoch renders every requested fact once).
 func (f Fact) String() string {
-	return fmt.Sprintf("%s(%s)", f.Rel(), f.Args().String())
+	rel := symbols.lookup(f.rel)
+	var b strings.Builder
+	b.Grow(len(rel) + 2 + 12*len(f.args))
+	b.WriteString(rel)
+	b.WriteByte('(')
+	for i, id := range f.args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := Value(symbols.lookup(id))
+		if isBareValue(v) {
+			b.WriteString(string(v))
+		} else {
+			b.WriteString(QuoteValue(v))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
 }

@@ -1,7 +1,7 @@
 package fact
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -32,7 +32,24 @@ type Instance struct {
 // deterministic-iteration contract: every sorted fact slice the
 // package (and the engines above it) exposes uses it.
 func SortFacts(fs []Fact) {
-	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+	slices.SortFunc(fs, Fact.Compare)
+}
+
+// FactStrings renders facts in canonical SortFacts order as their
+// textual forms. The input slice is left untouched (the serving layer
+// hands it slices backed by shared copy-on-write storage). The result
+// is the wire representation of a fact list: every byte-identical
+// response guarantee in the serving protocol reduces to this function
+// being a pure function of the fact set.
+func FactStrings(fs []Fact) []string {
+	sorted := make([]Fact, len(fs))
+	copy(sorted, fs)
+	SortFacts(sorted)
+	out := make([]string, len(sorted))
+	for i, f := range sorted {
+		out[i] = f.String()
+	}
+	return out
 }
 
 // NewInstance creates an instance containing the given facts.

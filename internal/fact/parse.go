@@ -31,6 +31,21 @@ func ParseFact(s string) (Fact, error) {
 	return f, nil
 }
 
+// ParseFacts parses a list of textual facts, failing on the first bad
+// one. It is the batch entry point the serving protocol uses for
+// request fact lists; a nil error guarantees one fact per input string.
+func ParseFacts(strs []string) ([]Fact, error) {
+	out := make([]Fact, 0, len(strs))
+	for _, s := range strs {
+		f, err := ParseFact(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 // MustParseFact is like ParseFact but panics on error; for tests and examples.
 func MustParseFact(s string) Fact {
 	f, err := ParseFact(s)

@@ -245,8 +245,7 @@ func (m *Materialization) insertionWork(s *stratum, a *applyState) bool {
 // fact dies in a later wave.)
 func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 	var tasks []pinTask
-	for _, r := range s.rules {
-		r := r
+	for ri, r := range s.rules {
 		for i, at := range r.Pos {
 			pinFacts := a.delByRel[at.Rel]
 			if len(pinFacts) == 0 {
@@ -255,7 +254,7 @@ func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 			i := i
 			nneg := len(r.Neg)
 			tasks = append(tasks, pinTask{
-				rule: r, pin: i, pinFacts: pinFacts, view: a.oldX,
+				crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: a.oldX,
 				accept: func(v *datalog.Valuation) bool {
 					for k := 0; k < nneg; k++ {
 						if a.insSet[string(v.NegKey(k))] {
@@ -277,9 +276,10 @@ func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 				continue
 			}
 			k := k
-			conv, pin := convertNeg(r, k)
+			nc := s.cneg[ri][k]
+			pin := nc.pin
 			tasks = append(tasks, pinTask{
-				rule: conv, pin: pin, pinFacts: pinFacts, view: a.oldX,
+				crule: nc.c, pin: pin, pinFacts: pinFacts, view: a.oldX,
 				accept: func(v *datalog.Valuation) bool {
 					// A pinned fact that was deleted and re-added this
 					// apply was present before — the valuation was
@@ -307,8 +307,7 @@ func (m *Materialization) deleteSeedTasks(s *stratum, a *applyState) []pinTask {
 // removed fact.
 func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 	var tasks []pinTask
-	for _, r := range s.rules {
-		r := r
+	for ri, r := range s.rules {
 		for i, at := range r.Pos {
 			pinFacts := a.insByRel[at.Rel]
 			if len(pinFacts) == 0 {
@@ -316,7 +315,7 @@ func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 			}
 			i := i
 			tasks = append(tasks, pinTask{
-				rule: r, pin: i, pinFacts: pinFacts, view: m.x,
+				crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: m.x,
 				accept: func(v *datalog.Valuation) bool {
 					for j := 0; j < i; j++ {
 						if a.insSet[string(v.PosKey(j))] {
@@ -333,9 +332,10 @@ func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 				continue
 			}
 			k := k
-			conv, pin := convertNeg(r, k)
+			nc := s.cneg[ri][k]
+			pin := nc.pin
 			tasks = append(tasks, pinTask{
-				rule: conv, pin: pin, pinFacts: pinFacts, view: m.x,
+				crule: nc.c, pin: pin, pinFacts: pinFacts, view: m.x,
 				accept: func(v *datalog.Valuation) bool {
 					// A pinned fact that was re-added after deletion is
 					// present again — the valuation is still blocked,
@@ -371,8 +371,7 @@ func (m *Materialization) insertSeedTasks(s *stratum, a *applyState) []pinTask {
 func (m *Materialization) insertWaveTasks(s *stratum, wave []fact.Fact, waveSet map[string]bool) []pinTask {
 	waveByRel := groupByRel(wave)
 	var tasks []pinTask
-	for _, r := range s.rules {
-		r := r
+	for ri, r := range s.rules {
 		for i, at := range r.Pos {
 			pinFacts := waveByRel[at.Rel]
 			if len(pinFacts) == 0 {
@@ -380,7 +379,7 @@ func (m *Materialization) insertWaveTasks(s *stratum, wave []fact.Fact, waveSet 
 			}
 			i := i
 			tasks = append(tasks, pinTask{
-				rule: r, pin: i, pinFacts: pinFacts, view: m.x,
+				crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: m.x,
 				accept: func(v *datalog.Valuation) bool {
 					for j := 0; j < i; j++ {
 						if waveSet[string(v.PosKey(j))] {
@@ -445,8 +444,7 @@ func (m *Materialization) applyIncrements(acc *headAcc, a *applyState, sb *strat
 func (m *Materialization) deleteWaveTasks(s *stratum, a *applyState, wave []fact.Fact, waveSet map[string]bool) []pinTask {
 	waveByRel := groupByRel(wave)
 	var tasks []pinTask
-	for _, r := range s.rules {
-		r := r
+	for ri, r := range s.rules {
 		for i, at := range r.Pos {
 			pinFacts := waveByRel[at.Rel]
 			if len(pinFacts) == 0 {
@@ -455,7 +453,7 @@ func (m *Materialization) deleteWaveTasks(s *stratum, a *applyState, wave []fact
 			i := i
 			npos, nneg := len(r.Pos), len(r.Neg)
 			tasks = append(tasks, pinTask{
-				rule: r, pin: i, pinFacts: pinFacts, view: a.oldX,
+				crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: a.oldX,
 				accept: func(v *datalog.Valuation) bool {
 					for k := 0; k < nneg; k++ {
 						if a.insSet[string(v.NegKey(k))] {
@@ -572,10 +570,10 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 		// set, and over-collection is deduplicated right here.
 		waveByRel := groupByRel(wave)
 		var tasks []pinTask
-		for _, r := range s.rules {
+		for ri, r := range s.rules {
 			for i, at := range r.Pos {
 				if pinFacts := waveByRel[at.Rel]; len(pinFacts) > 0 {
-					tasks = append(tasks, pinTask{rule: r, pin: i, pinFacts: pinFacts, view: a.oldX})
+					tasks = append(tasks, pinTask{crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: a.oldX})
 				}
 			}
 		}
@@ -618,10 +616,10 @@ func (m *Materialization) dredDelete(s *stratum, a *applyState, sb *stratumStats
 	for len(back) > 0 {
 		waveByRel := groupByRel(back)
 		var tasks []pinTask
-		for _, r := range s.rules {
+		for ri, r := range s.rules {
 			for i, at := range r.Pos {
 				if pinFacts := waveByRel[at.Rel]; len(pinFacts) > 0 {
-					tasks = append(tasks, pinTask{rule: r, pin: i, pinFacts: pinFacts, view: m.x})
+					tasks = append(tasks, pinTask{crule: s.crules[ri], pin: i, pinFacts: pinFacts, view: m.x})
 				}
 			}
 		}

@@ -94,6 +94,12 @@ type ApplyStats struct {
 // structure the phases consult.
 type stratum struct {
 	rules []datalog.Rule
+	// crules[i] is rules[i] pre-compiled; cneg[i][k] is the
+	// neg-conversion convertNeg(rules[i], k) pre-compiled with its pin.
+	// Compilation is per-program setup — the apply phases evaluate
+	// these on every delta and must not recompile per call.
+	crules []*datalog.CompiledRule
+	cneg   [][]negCompiled
 	// heads is the set of idb relations defined by this stratum.
 	heads map[string]bool
 	// posRels / negRels are the relations occurring in positive /
@@ -114,7 +120,7 @@ type Materialization struct {
 	idb         fact.Schema
 	schema      fact.Schema
 	strata      []stratum
-	rulesByHead map[string][]datalog.Rule
+	rulesByHead map[string][]headRule
 	hasNeg      bool
 	opts        Options
 	workers     int
@@ -167,7 +173,7 @@ func newEmpty(p *datalog.Program, opts Options) (*Materialization, error) {
 		prog:        p,
 		idb:         p.IDB(),
 		schema:      schema,
-		rulesByHead: make(map[string][]datalog.Rule),
+		rulesByHead: make(map[string][]headRule),
 		opts:        opts,
 		workers:     opts.workers(),
 		x:           datalog.IndexInstance(fact.NewInstance()),
@@ -178,7 +184,7 @@ func newEmpty(p *datalog.Program, opts Options) (*Materialization, error) {
 		m.strata = append(m.strata, newStratum(rules))
 	}
 	for _, r := range p.Rules {
-		m.rulesByHead[r.Head.Rel] = append(m.rulesByHead[r.Head.Rel], r)
+		m.rulesByHead[r.Head.Rel] = append(m.rulesByHead[r.Head.Rel], headRule{r: r, c: datalog.Compile(r)})
 		if len(r.Neg) > 0 {
 			m.hasNeg = true
 		}
@@ -212,7 +218,31 @@ func newStratum(rules []datalog.Rule) stratum {
 		}
 	}
 	s.recursive = hasCycle(adj)
+	for _, r := range rules {
+		s.crules = append(s.crules, datalog.Compile(r))
+		nc := make([]negCompiled, len(r.Neg))
+		for k := range r.Neg {
+			conv, pin := convertNeg(r, k)
+			nc[k] = negCompiled{c: datalog.Compile(conv), pin: pin}
+		}
+		s.cneg = append(s.cneg, nc)
+	}
 	return s
+}
+
+// negCompiled is one pre-compiled neg-conversion: the rule with its
+// k-th negated atom turned positive, and the pin index of that atom.
+type negCompiled struct {
+	c   *datalog.CompiledRule
+	pin int
+}
+
+// headRule pairs a rule with its compilation for the head-bound
+// entry points (countDerivations, derivable), which run per candidate
+// fact inside DRed and must not recompile.
+type headRule struct {
+	r datalog.Rule
+	c *datalog.CompiledRule
 }
 
 // hasCycle detects a directed cycle via three-color DFS.
@@ -286,12 +316,12 @@ func (m *Materialization) Support(f fact.Fact) int64 { return m.support[f.Packed
 // materializing a Bindings per valuation.
 func (m *Materialization) countDerivations(f fact.Fact) (int64, error) {
 	var n int64
-	for _, r := range m.rulesByHead[f.Rel()] {
-		init, ok := r.BindHead(f)
+	for _, hr := range m.rulesByHead[f.Rel()] {
+		init, ok := hr.r.BindHead(f)
 		if !ok {
 			continue
 		}
-		c, err := m.x.MatchBoundCount(r, init)
+		c, err := m.x.MatchBoundCountC(hr.c, init)
 		if err != nil {
 			return 0, err
 		}
@@ -303,12 +333,12 @@ func (m *Materialization) countDerivations(f fact.Fact) (int64, error) {
 // derivable reports whether f has at least one derivation against the
 // current materialization, stopping at the first witness.
 func (m *Materialization) derivable(f fact.Fact) (bool, error) {
-	for _, r := range m.rulesByHead[f.Rel()] {
-		init, ok := r.BindHead(f)
+	for _, hr := range m.rulesByHead[f.Rel()] {
+		init, ok := hr.r.BindHead(f)
 		if !ok {
 			continue
 		}
-		ok, err := m.x.MatchBoundAny(r, init)
+		ok, err := m.x.MatchBoundAnyC(hr.c, init)
 		if err != nil {
 			return false, err
 		}

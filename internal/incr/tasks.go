@@ -15,7 +15,7 @@ import (
 // accumulators merge additively at the phase barrier, which is what
 // makes serial and parallel execution produce identical results.
 type pinTask struct {
-	rule     datalog.Rule
+	crule    *datalog.CompiledRule
 	pin      int
 	pinFacts []fact.Fact
 	view     *datalog.IndexedInstance
@@ -77,7 +77,7 @@ func (a *headAcc) sortedFacts() []fact.Fact {
 }
 
 func runTask(t pinTask, acc *headAcc) error {
-	return t.view.EvalPinnedV(t.rule, t.pin, t.pinFacts, func(v *datalog.Valuation) error {
+	return t.view.EvalPinnedVC(t.crule, t.pin, t.pinFacts, func(v *datalog.Valuation) error {
 		if t.accept != nil && !t.accept(v) {
 			return nil
 		}

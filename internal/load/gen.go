@@ -1,0 +1,58 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// gen produces one connection's seeded request stream. Writes churn
+// directed edges over a small node set in a namespace private to the
+// connection (w<id>n<j>), so concurrent connections never produce
+// overlapping deltas and the instance stays bounded: every edge the
+// generator inserts it later retracts with equal probability.
+type gen struct {
+	rng      *rand.Rand
+	readFrac float64
+	nodes    []string
+	present  map[[2]int]bool
+}
+
+func newGen(cfg Config, id int) *gen {
+	g := &gen{
+		rng:      rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		readFrac: cfg.readFrac(),
+		present:  make(map[[2]int]bool),
+	}
+	for j := 0; j < cfg.nodes(); j++ {
+		g.nodes = append(g.nodes, fmt.Sprintf("w%dn%d", id, j))
+	}
+	return g
+}
+
+// next returns the next request line (without trailing newline) and
+// whether it is a read.
+func (g *gen) next() ([]byte, bool) {
+	if g.rng.Float64() < g.readFrac {
+		switch g.rng.Intn(3) {
+		case 0:
+			return []byte(`{"op":"stats"}`), true
+		case 1:
+			return []byte(`{"op":"query","rel":"E"}`), true
+		default:
+			return []byte(`{"op":"query","rel":"T"}`), true
+		}
+	}
+	i := g.rng.Intn(len(g.nodes))
+	j := g.rng.Intn(len(g.nodes) - 1)
+	if j >= i {
+		j++
+	}
+	k := [2]int{i, j}
+	op := "insert"
+	if g.present[k] {
+		op = "retract"
+	}
+	g.present[k] = !g.present[k]
+	req := fmt.Sprintf(`{"op":%q,"facts":["E(%s,%s)"]}`, op, g.nodes[i], g.nodes[j])
+	return []byte(req), false
+}

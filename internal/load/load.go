@@ -1,0 +1,316 @@
+// Package load is a seeded load generator for the calmd wire
+// protocol. It drives N concurrent TCP connections against a daemon,
+// each pipelining a reproducible mix of reads (query/stats) and
+// writes (insert/retract churn in a per-connection edge namespace),
+// and reports throughput plus p50/p99 latency split by op class.
+//
+// The generator is the measurement half of the PR-7 serving-core
+// claim: a pipelined multi-connection workload on a read-heavy mix
+// must beat the serial single-connection ping-pong baseline (one
+// request in flight, one flush per request — the pre-epoch daemon's
+// effective service discipline) by a wide margin, because reads no
+// longer wait behind writes and responses coalesce into shared
+// flushes.
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// okPrefix starts every success response ("ok" is the first field of
+// the wire format).
+var okPrefix = []byte(`{"ok":true`)
+
+// Config parameterizes one load run. Zero fields take the defaults
+// noted below.
+type Config struct {
+	Addr     string        // calmd TCP address (required)
+	Conns    int           // concurrent connections (default 4)
+	Window   int           // max in-flight requests per connection; 1 = serial ping-pong (default 32)
+	Duration time.Duration // send window per connection (default 2s)
+	Seed     int64         // base RNG seed; conn i derives Seed + i*7919
+	ReadFrac float64       // fraction of requests that are reads (default 0.9)
+	Nodes    int           // churn nodes per connection's write namespace (default 4)
+}
+
+func (c Config) conns() int {
+	if c.Conns > 0 {
+		return c.Conns
+	}
+	return 4
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 32
+}
+
+func (c Config) duration() time.Duration {
+	if c.Duration > 0 {
+		return c.Duration
+	}
+	return 2 * time.Second
+}
+
+func (c Config) readFrac() float64 {
+	if c.ReadFrac > 0 {
+		return c.ReadFrac
+	}
+	return 0.9
+}
+
+func (c Config) nodes() int {
+	if c.Nodes > 1 {
+		return c.Nodes
+	}
+	return 4
+}
+
+// Result is one run's aggregate measurement.
+type Result struct {
+	Conns       int     `json:"conns"`
+	Window      int     `json:"window"`
+	ReadFrac    float64 `json:"read_frac"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Ops    int64 `json:"ops"`
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Errors int64 `json:"errors"` // ok:false responses (protocol errors)
+
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	ReadP50Ns  int64   `json:"read_p50_ns"`
+	ReadP99Ns  int64   `json:"read_p99_ns"`
+	WriteP50Ns int64   `json:"write_p50_ns"`
+	WriteP99Ns int64   `json:"write_p99_ns"`
+}
+
+// Comparison pairs a pipelined multi-connection run with the serial
+// single-connection baseline over the same mix and duration.
+type Comparison struct {
+	Baseline  *Result `json:"baseline"`
+	Pipelined *Result `json:"pipelined"`
+	// Speedup is pipelined ops/sec over baseline ops/sec — the PR-7
+	// acceptance gate requires >= 2 on read-heavy mixes.
+	Speedup float64 `json:"speedup"`
+}
+
+// connStats accumulates one connection's measurements.
+type connStats struct {
+	readLat  []time.Duration
+	writeLat []time.Duration
+	errors   int64
+}
+
+// Run drives the configured workload and blocks until every
+// connection has drained its in-flight responses.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("load: Config.Addr is required")
+	}
+	n := cfg.conns()
+	stats := make([]*connStats, n)
+	errs := make([]error, n)
+	start := time.Now()
+	deadline := start.Add(cfg.duration())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stats[id], errs[id] = runConn(cfg, id, deadline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Conns:       n,
+		Window:      cfg.window(),
+		ReadFrac:    cfg.readFrac(),
+		Seed:        cfg.Seed,
+		DurationSec: elapsed.Seconds(),
+	}
+	var all, reads, writes []time.Duration
+	for _, st := range stats {
+		res.Errors += st.errors
+		reads = append(reads, st.readLat...)
+		writes = append(writes, st.writeLat...)
+	}
+	all = append(append(all, reads...), writes...)
+	res.Reads = int64(len(reads))
+	res.Writes = int64(len(writes))
+	res.Ops = res.Reads + res.Writes
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	res.P50Ns, res.P99Ns = percentiles(all)
+	res.ReadP50Ns, res.ReadP99Ns = percentiles(reads)
+	res.WriteP50Ns, res.WriteP99Ns = percentiles(writes)
+	return res, nil
+}
+
+// Compare runs the serial single-connection baseline, then the
+// configured (multi-connection, pipelined) workload, against the same
+// server.
+func Compare(cfg Config) (*Comparison, error) {
+	base := cfg
+	base.Conns = 1
+	base.Window = 1
+	b, err := Run(base)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	p, err := Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipelined: %w", err)
+	}
+	cmp := &Comparison{Baseline: b, Pipelined: p}
+	if b.OpsPerSec > 0 {
+		cmp.Speedup = p.OpsPerSec / b.OpsPerSec
+	}
+	return cmp, nil
+}
+
+// runConn opens one connection and pipelines requests until the
+// deadline, then half-closes and drains the remaining responses.
+// Request/response pairing relies on the protocol's per-connection
+// ordering guarantee: a FIFO of send timestamps matches responses as
+// they arrive.
+func runConn(cfg Config, id int, deadline time.Time) (*connStats, error) {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	type slot struct {
+		start time.Time
+		read  bool
+	}
+	window := cfg.window()
+	q := make(chan slot, window)
+	st := &connStats{}
+	var readErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			s, ok := <-q
+			if !ok {
+				readErr = errors.New("response without a matching request")
+				return
+			}
+			lat := time.Since(s.start)
+			// Classify by prefix rather than full JSON decode: the field
+			// order is part of the wire format ("ok" leads), and decoding
+			// megabytes of response JSON on the shared CPU would measure
+			// the client, not the server.
+			if !bytes.HasPrefix(line, okPrefix) {
+				st.errors++
+			}
+			if s.read {
+				st.readLat = append(st.readLat, lat)
+			} else {
+				st.writeLat = append(st.writeLat, lat)
+			}
+		}
+		readErr = sc.Err()
+	}()
+
+	g := newGen(cfg, id)
+	bw := bufio.NewWriter(conn)
+	flushEvery := window / 2
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	unflushed := 0
+	var sendErr error
+send:
+	for time.Now().Before(deadline) {
+		req, isRead := g.next()
+		s := slot{start: time.Now(), read: isRead}
+		select {
+		case q <- s:
+		default:
+			// Window full: everything buffered must reach the server
+			// before we block, or the responses we are waiting on can
+			// never be produced.
+			if err := bw.Flush(); err != nil {
+				sendErr = err
+				break send
+			}
+			select {
+			case q <- s:
+			case <-done:
+				sendErr = errors.New("reader closed mid-run")
+				break send
+			}
+		}
+		bw.Write(req)
+		bw.WriteByte('\n')
+		unflushed++
+		if unflushed >= flushEvery {
+			if err := bw.Flush(); err != nil {
+				sendErr = err
+				break send
+			}
+			unflushed = 0
+		}
+	}
+	if sendErr == nil {
+		sendErr = bw.Flush()
+	}
+	close(q)
+	// Half-close: the server sees EOF, drains in-flight work, and
+	// closes its side, which ends the reader loop above.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	<-done
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return st, nil
+}
+
+// percentiles returns the p50 and p99 latencies in nanoseconds.
+func percentiles(lat []time.Duration) (p50, p99 int64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i].Nanoseconds()
+	}
+	return at(0.50), at(0.99)
+}

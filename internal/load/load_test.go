@@ -1,0 +1,73 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestRunAgainstSelfServer(t *testing.T) {
+	addr, shutdown, err := StartSelf(8, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	res, err := Run(Config{
+		Addr:     addr,
+		Conns:    3,
+		Window:   8,
+		Duration: 150 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("load run completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run saw %d protocol errors", res.Errors)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("mix degenerated: reads=%d writes=%d", res.Reads, res.Writes)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+		t.Fatalf("implausible latencies: p50=%d p99=%d", res.P50Ns, res.P99Ns)
+	}
+}
+
+func TestSerialWindowOne(t *testing.T) {
+	addr, shutdown, err := StartSelf(8, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	res, err := Run(Config{
+		Addr:     addr,
+		Conns:    1,
+		Window:   1,
+		Duration: 100 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Fatalf("serial baseline: ops=%d errors=%d", res.Ops, res.Errors)
+	}
+}
+
+func TestGenDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 5}
+	a, b := newGen(cfg, 2), newGen(cfg, 2)
+	for i := 0; i < 200; i++ {
+		ra, _ := a.next()
+		rb, _ := b.next()
+		if string(ra) != string(rb) {
+			t.Fatalf("request %d diverged for identical seeds: %s vs %s", i, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+	"repro/internal/serve"
+)
+
+// SelfProgram is the embedded workload program for self-contained
+// runs: transitive closure, the paper's canonical monotone query.
+const SelfProgram = `
+T(x,y) :- E(x,y).
+T(x,y) :- E(x,z), T(z,y).
+`
+
+// StartSelf boots an in-process calmd serving core on a loopback
+// port, seeded with a chain graph of the given length, and returns
+// its address plus a shutdown function. It exists so calmload (and
+// CI smoke) can measure the full TCP serving stack without an
+// external daemon.
+func StartSelf(chain int, opts serve.Options) (addr string, shutdown func(), err error) {
+	if chain < 2 {
+		chain = 2
+	}
+	var sb strings.Builder
+	for i := 0; i < chain-1; i++ {
+		fmt.Fprintf(&sb, "E(n%d,n%d)\n", i, i+1)
+	}
+	input, err := fact.ParseInstance(sb.String())
+	if err != nil {
+		return "", nil, err
+	}
+	m, err := incr.New(datalog.MustParseProgram(SelfProgram), input, incr.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	core := serve.NewCore(m, opts)
+	srv, err := serve.NewTCPServer(core, "127.0.0.1:0", nil)
+	if err != nil {
+		core.Close()
+		return "", nil, err
+	}
+	srv.Start()
+	return srv.Addr(), func() {
+		srv.Close()
+		core.Close()
+	}, nil
+}

@@ -70,6 +70,41 @@ const (
 	IncrApplyNs = "incr.apply_ns"
 )
 
+// Serving-core metrics (internal/serve). All of these live in the
+// Registry plane only: request arrival order, batch sizes and
+// latencies are scheduling-dependent, so the serving core emits no
+// events.
+const (
+	// SrvConns counts TCP connections accepted.
+	SrvConns = "srv.conns"
+	// SrvRequests counts request lines received (including malformed).
+	SrvRequests = "srv.requests"
+	// SrvReads / SrvWrites count dispatched read ops (ping, query,
+	// facts, stats) and write ops (insert, retract, apply, snapshot).
+	SrvReads  = "srv.reads"
+	SrvWrites = "srv.writes"
+	// SrvErrors counts error responses sent.
+	SrvErrors = "srv.errors"
+	// SrvCommits counts group commits (epoch publications attempted at
+	// batch barriers; no-op batches do not publish a fresh epoch).
+	SrvCommits = "srv.commits"
+	// SrvSnapshots counts snapshot ops executed at commit barriers.
+	SrvSnapshots = "srv.snapshots"
+	// SrvEpoch is the latest published epoch's sequence number (gauge).
+	SrvEpoch = "srv.epoch"
+	// SrvBatchWrites is the distribution of write ops per group commit.
+	SrvBatchWrites = "srv.batch_writes"
+	// SrvQueueDepth is the write-queue depth observed when the writer
+	// begins a batch — sustained depth near the bound means clients are
+	// sitting in backpressure.
+	SrvQueueDepth = "srv.queue_depth"
+	// SrvReadNs / SrvWriteNs are wall-clock latency histograms from
+	// dispatch to response (for writes this includes queue wait, apply,
+	// and the group-commit barrier).
+	SrvReadNs  = "srv.read_ns"
+	SrvWriteNs = "srv.write_ns"
+)
+
 // ILOG¬ evaluator metrics (internal/ilog).
 const (
 	IlogRounds = "ilog.rounds"

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+)
+
+const benchProgram = `
+T(x,y) :- E(x,y).
+T(x,y) :- E(x,z), T(z,y).
+`
+
+func benchCore(b *testing.B, chain int) *Core {
+	b.Helper()
+	var sb strings.Builder
+	for i := 0; i < chain-1; i++ {
+		fmt.Fprintf(&sb, "E(n%d,n%d)\n", i, i+1)
+	}
+	input, err := fact.ParseInstance(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := incr.New(datalog.MustParseProgram(benchProgram), input, incr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCore(m, Options{})
+	b.Cleanup(c.Close)
+	return c
+}
+
+// BenchmarkPinnedReads measures the epoch-pinned read path end to
+// end (decode, pin, memoized render, response) via HandleLine.
+func BenchmarkPinnedReads(b *testing.B) {
+	c := benchCore(b, 16)
+	line := []byte(`{"op":"query","rel":"T"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := c.HandleLine(line); !resp.OK {
+			b.Fatalf("query failed: %+v", resp)
+		}
+	}
+}
+
+// BenchmarkColdReads measures the same read against a fresh epoch
+// every time (cache miss: sort, render, and marshal per op).
+func BenchmarkColdReads(b *testing.B) {
+	c := benchCore(b, 16)
+	req := Request{Op: "query", Rel: "T"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es := &epochState{ep: c.m.Epoch(), cache: make(map[string][]string), resps: make(map[string]Response)}
+		if resp := es.respond(req); !resp.OK {
+			b.Fatalf("query failed: %+v", resp)
+		}
+	}
+}
+
+// BenchmarkWriteCommit measures one mutating op through the writer
+// goroutine: enqueue, apply, group commit, epoch publish, response.
+func BenchmarkWriteCommit(b *testing.B) {
+	c := benchCore(b, 16)
+	ins := []byte(`{"op":"insert","facts":["E(w0,w1)"]}`)
+	del := []byte(`{"op":"retract","facts":["E(w0,w1)"]}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := ins
+		if i%2 == 1 {
+			line = del
+		}
+		if resp := c.HandleLine(line); !resp.OK {
+			b.Fatalf("write failed: %+v", resp)
+		}
+	}
+}
+
+// BenchmarkEpochPublish measures epoch construction alone: the
+// copy-on-write RelView plus state allocation per group commit.
+func BenchmarkEpochPublish(b *testing.B) {
+	c := benchCore(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := c.m.Epoch()
+		if e.Len() == 0 {
+			b.Fatal("empty epoch")
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fact"
+	"repro/internal/incr"
+	"repro/internal/obs"
+)
+
+// Options configures a Core. The zero value is usable: defaults below.
+type Options struct {
+	// WriteQueue bounds the shared write queue (default 256). A full
+	// queue blocks dispatch — backpressure propagates to the client
+	// through the connection's pipeline window and TCP flow control.
+	WriteQueue int
+	// MaxBatch caps how many write ops one group commit drains
+	// (default 64). Larger batches amortize epoch publication; smaller
+	// ones bound write latency under sustained load.
+	MaxBatch int
+	// Pipeline bounds in-flight requests per connection (default 64):
+	// the reader stops consuming input once this many responses are
+	// outstanding, so a slow-reading client cannot queue unbounded
+	// work.
+	Pipeline int
+	// SnapshotDir, when non-empty, confines snapshot ops to bare file
+	// names resolved inside this directory. Leave empty to allow
+	// arbitrary paths (the CLI default).
+	SnapshotDir string
+	// Reg, when non-nil, receives the srv.* metrics (see
+	// internal/obs names.go).
+	Reg *obs.Registry
+}
+
+func (o Options) writeQueue() int {
+	if o.WriteQueue > 0 {
+		return o.WriteQueue
+	}
+	return 256
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return 64
+}
+
+func (o Options) pipeline() int {
+	if o.Pipeline > 0 {
+		return o.Pipeline
+	}
+	return 64
+}
+
+// writeTask is one queued mutating op and the slot its response goes
+// to. The response channel is 1-buffered so the writer never blocks
+// completing a task, even when the issuing connection has died. done
+// is closed once the epoch containing the write is published (or the
+// task is refused): later reads on the same connection fence on it so
+// a client always reads its own writes.
+type writeTask struct {
+	req  Request
+	resp chan Response
+	done chan struct{}
+	enq  time.Time // zero when metrics are disabled
+}
+
+// epochState is one published epoch plus its render cache. Epochs
+// are immutable, so rendered query results are memoized per (epoch,
+// rel): the first query pays the sort+render, every later query on
+// the same epoch serves the cached strings — byte-identical by
+// construction, and the dominant cost on read-heavy workloads.
+type epochState struct {
+	ep    *incr.Epoch
+	mu    sync.Mutex
+	cache map[string][]string // rel → rendered fact strings ("" = all facts)
+	resps map[string]Response // read op key → complete response, raw bytes filled
+}
+
+// facts is the memoizing factsFor provider for this epoch.
+func (es *epochState) facts(rel string) []string {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if s, ok := es.cache[rel]; ok {
+		return s
+	}
+	s := epochFacts(es.ep)(rel)
+	es.cache[rel] = s
+	return s
+}
+
+// respond answers one read op, memoizing successful responses —
+// including their encoded wire bytes — per (op, rel, epoch-echo). A
+// read response is a pure function of those inputs on an immutable
+// epoch, so the cache is byte-exact by construction.
+func (es *epochState) respond(req Request) Response {
+	key := req.Op + "\x00" + req.Rel
+	if req.Epoch {
+		key += "\x00e"
+	}
+	es.mu.Lock()
+	if r, ok := es.resps[key]; ok {
+		es.mu.Unlock()
+		return r
+	}
+	es.mu.Unlock()
+	resp := readResponseWith(es.ep, req, es.facts)
+	if resp.OK {
+		if b, err := json.Marshal(resp); err == nil {
+			resp.raw = b
+		}
+		es.mu.Lock()
+		es.resps[key] = resp
+		es.mu.Unlock()
+	}
+	return resp
+}
+
+// Core is the serving core: one materialization, one writer
+// goroutine, one atomically-published current epoch. Create with
+// NewCore; the Core owns the materialization (single-writer MVCC) and
+// nothing else may mutate or read it while the Core is open.
+type Core struct {
+	m    *incr.Materialization
+	opts Options
+
+	epoch  atomic.Pointer[epochState]
+	writeq chan *writeTask
+	quit   chan struct{}
+	done   chan struct{}
+	closed sync.Once
+
+	reg       *obs.Registry
+	requests  *obs.Counter
+	reads     *obs.Counter
+	writes    *obs.Counter
+	errors    *obs.Counter
+	commits   *obs.Counter
+	snapshots *obs.Counter
+	conns     *obs.Counter
+	epochG    *obs.Gauge
+	batchH    *obs.Histogram
+	queueH    *obs.Histogram
+	readNs    *obs.Histogram
+	writeNs   *obs.Histogram
+}
+
+// NewCore wraps the materialization in a serving core, publishes the
+// initial epoch, and starts the writer goroutine. Callers must Close
+// the core after all sessions have returned.
+func NewCore(m *incr.Materialization, opts Options) *Core {
+	c := &Core{
+		m:      m,
+		opts:   opts,
+		writeq: make(chan *writeTask, opts.writeQueue()),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+
+		reg:       opts.Reg,
+		requests:  opts.Reg.Counter(obs.SrvRequests),
+		reads:     opts.Reg.Counter(obs.SrvReads),
+		writes:    opts.Reg.Counter(obs.SrvWrites),
+		errors:    opts.Reg.Counter(obs.SrvErrors),
+		commits:   opts.Reg.Counter(obs.SrvCommits),
+		snapshots: opts.Reg.Counter(obs.SrvSnapshots),
+		conns:     opts.Reg.Counter(obs.SrvConns),
+		epochG:    opts.Reg.Gauge(obs.SrvEpoch),
+		batchH:    opts.Reg.Histogram(obs.SrvBatchWrites),
+		queueH:    opts.Reg.Histogram(obs.SrvQueueDepth),
+		readNs:    opts.Reg.Histogram(obs.SrvReadNs),
+		writeNs:   opts.Reg.Histogram(obs.SrvWriteNs),
+	}
+	c.publish()
+	go c.writer()
+	return c
+}
+
+// CurrentEpoch returns the epoch a read arriving now is pinned to.
+func (c *Core) CurrentEpoch() *incr.Epoch { return c.epoch.Load().ep }
+
+// Seq returns the latest published epoch's sequence number.
+func (c *Core) Seq() int { return c.CurrentEpoch().Seq() }
+
+// Close stops the writer goroutine and waits for it to exit,
+// answering any writes that raced the shutdown with an error. All
+// sessions must have returned first: Close does not interrupt
+// in-flight Serve loops.
+func (c *Core) Close() {
+	c.closed.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+// publish makes the materialization's committed state the current
+// read epoch. Skipped when the materialization is corrupt (a failed
+// maintenance phase): reads then keep answering from the last good
+// epoch while every later write fails fast.
+func (c *Core) publish() {
+	if c.m.Err() != nil {
+		return
+	}
+	if cur := c.epoch.Load(); cur != nil && cur.ep.Seq() == c.m.Seq() {
+		return
+	}
+	e := c.m.Epoch()
+	c.epoch.Store(&epochState{ep: e, cache: make(map[string][]string), resps: make(map[string]Response)})
+	c.epochG.Set(int64(e.Seq()))
+}
+
+// writer is the single mutation loop: it drains the write queue in
+// batches, applies every op in arrival order, and publishes one fresh
+// epoch per batch (group commit). Responses are completed only after
+// the epoch containing the write is published, so a client that has
+// seen "seq":N is guaranteed any later read it issues pins an epoch
+// >= N.
+func (c *Core) writer() {
+	defer close(c.done)
+	for {
+		select {
+		case t := <-c.writeq:
+			c.commitBatch(t)
+		case <-c.quit:
+			for {
+				select {
+				case t := <-c.writeq:
+					t.resp <- errResp("server closed")
+					close(t.done)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *Core) commitBatch(first *writeTask) {
+	c.queueH.Observe(int64(len(c.writeq)) + 1)
+	batch := []*writeTask{first}
+	max := c.opts.maxBatch()
+drain:
+	for len(batch) < max {
+		select {
+		case t := <-c.writeq:
+			batch = append(batch, t)
+		default:
+			break drain
+		}
+	}
+
+	resps := make([]Response, len(batch))
+	writes := 0
+	for i, t := range batch {
+		if t.req.Op == "snapshot" {
+			// Commit barrier: everything applied so far in this batch
+			// becomes visible first, then the snapshot captures exactly
+			// that committed epoch.
+			c.publish()
+			resps[i] = c.doSnapshot(t.req)
+			continue
+		}
+		resps[i] = c.applyWrite(t.req)
+		writes++
+	}
+	c.publish()
+	c.commits.Inc()
+	c.batchH.Observe(int64(writes))
+
+	for i, t := range batch {
+		if !resps[i].OK {
+			c.errors.Inc()
+		}
+		t.resp <- resps[i]
+		close(t.done)
+		if !t.enq.IsZero() {
+			c.writeNs.Observe(time.Since(t.enq).Nanoseconds())
+		}
+	}
+}
+
+// applyWrite validates and applies one mutating op against the
+// materialization. Runs only on the writer goroutine.
+func (c *Core) applyWrite(req Request) Response {
+	var d incr.Delta
+	var err error
+	switch req.Op {
+	case "insert":
+		d.Insert, err = fact.ParseFacts(req.Facts)
+	case "retract":
+		d.Retract, err = fact.ParseFacts(req.Facts)
+	case "apply":
+		if d.Insert, err = fact.ParseFacts(req.Insert); err == nil {
+			d.Retract, err = fact.ParseFacts(req.Retract)
+		}
+	default:
+		return errResp("unknown op %q", req.Op)
+	}
+	if err != nil {
+		return errResp("bad fact: %v", err)
+	}
+	st, err := c.m.Apply(d)
+	if err != nil {
+		return errResp("%v", err)
+	}
+	seq := c.m.Seq()
+	return Response{OK: true, Seq: &seq, Apply: &ApplyBody{
+		Inserted:  st.BaseInserted,
+		Retracted: st.BaseRetracted,
+		Added:     st.DerivedAdded,
+		Removed:   st.DerivedRemoved,
+	}}
+}
+
+// doSnapshot writes the committed state to the requested path. Runs
+// only on the writer goroutine, at a commit barrier, so the snapshot
+// is exactly one committed epoch — never a torn batch. The response
+// reports the captured sequence number.
+func (c *Core) doSnapshot(req Request) Response {
+	path, err := c.snapshotPath(req.Path)
+	if err != nil {
+		return errResp("%v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return errResp("%v", err)
+	}
+	if err := c.m.Snapshot(f); err != nil {
+		f.Close()
+		return errResp("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		return errResp("%v", err)
+	}
+	c.snapshots.Inc()
+	seq := c.m.Seq()
+	return Response{OK: true, Seq: &seq, Path: req.Path}
+}
+
+// snapshotPath resolves a requested snapshot path under the
+// configured confinement directory, if any. With SnapshotDir set only
+// bare file names are accepted — no separators, no "..", nothing
+// absolute — so an untrusted request stream cannot write outside it.
+func (c *Core) snapshotPath(p string) (string, error) {
+	if p == "" {
+		return "", fmt.Errorf("snapshot needs a path")
+	}
+	if c.opts.SnapshotDir == "" {
+		return p, nil
+	}
+	if strings.ContainsAny(p, `/\`) || p == "." || p == ".." {
+		return "", fmt.Errorf("snapshot path %q must be a bare file name", p)
+	}
+	return filepath.Join(c.opts.SnapshotDir, p), nil
+}
+
+// dispatch routes one decoded request: reads are pinned to the
+// current epoch and evaluated on their own goroutine; writes enqueue
+// to the writer (blocking when the queue is full — that block IS the
+// backpressure). The response lands in ch, which must be 1-buffered.
+//
+// fence is the done channel of the most recent write dispatched on
+// the same connection (nil when none): a read first waits for that
+// write's epoch to publish before pinning, so each connection reads
+// its own writes even when it pipelines queries behind mutations.
+// dispatch returns the fence later requests on the connection should
+// carry — the new write's, or the caller's unchanged.
+func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}) <-chan struct{} {
+	switch {
+	case isReadOp(req.Op):
+		c.reads.Inc()
+		var start time.Time
+		if c.reg != nil {
+			start = time.Now()
+		}
+		ready := fence == nil
+		if !ready {
+			select {
+			case <-fence:
+				ready = true
+			default:
+			}
+		}
+		if ready {
+			// Fast path: no same-connection write outstanding, so the
+			// read runs inline on the session goroutine — no spawn, no
+			// handoff. The common case on read-heavy streams.
+			ch <- c.readAt(c.epoch.Load(), req)
+			if !start.IsZero() {
+				c.readNs.Observe(time.Since(start).Nanoseconds())
+			}
+			return fence
+		}
+		go func() {
+			<-fence // read-your-writes: pin only after the write's epoch publishes
+			ch <- c.readAt(c.epoch.Load(), req)
+			if !start.IsZero() {
+				c.readNs.Observe(time.Since(start).Nanoseconds())
+			}
+		}()
+		return fence
+
+	case isWriteOp(req.Op):
+		c.writes.Inc()
+		t := &writeTask{req: req, resp: ch, done: make(chan struct{})}
+		if c.reg != nil {
+			t.enq = time.Now()
+		}
+		select {
+		case c.writeq <- t:
+		case <-c.quit:
+			c.errors.Inc()
+			ch <- errResp("server closed")
+			close(t.done)
+		}
+		return t.done
+
+	default:
+		c.errors.Inc()
+		ch <- errResp("unknown op %q", req.Op)
+		return fence
+	}
+}
+
+// readAt answers one read op against a pinned epoch state, serving
+// memoized responses from the epoch's render cache.
+func (c *Core) readAt(es *epochState, req Request) Response {
+	resp := es.respond(req)
+	if !resp.OK {
+		c.errors.Inc()
+	}
+	return resp
+}
+
+// HandleLine decodes one request line, dispatches it, and waits for
+// the response — the synchronous single-request entry point (the fuzz
+// harness drives it; sessions use the pipelined loop in session.go).
+func (c *Core) HandleLine(line []byte) Response {
+	ch := make(chan Response, 1)
+	c.decodeAndDispatch(line, ch, nil)
+	return <-ch
+}

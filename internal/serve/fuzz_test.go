@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+)
+
+// fuzz state: one long-lived core shared across fuzz iterations (the
+// fuzz engine calls the target sequentially within a process), torn
+// down and rebuilt when accumulated inserts grow it too large. The
+// snapshot dir confines whatever paths the fuzzer invents.
+var (
+	fuzzMu   sync.Mutex
+	fuzzC    *Core
+	fuzzDir  string
+	fuzzOnce sync.Once
+)
+
+func fuzzCore(t *testing.T) *Core {
+	t.Helper()
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	fuzzOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "serve-fuzz-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzDir = dir
+	})
+	if fuzzC != nil && fuzzC.m.Len() > 20000 {
+		fuzzC.Close()
+		fuzzC = nil
+	}
+	if fuzzC == nil {
+		inst, err := fact.ParseInstance("E(a,b)\nE(b,a)\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := incr.New(datalog.MustParseProgram(testProgram), inst, incr.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzC = NewCore(m, Options{SnapshotDir: fuzzDir, WriteQueue: 8, MaxBatch: 4})
+	}
+	return fuzzC
+}
+
+// FuzzHandleRequest throws arbitrary request lines at the full
+// decode/dispatch/respond path. Whatever the input, the server must
+// neither panic nor deadlock, every response must be well-formed (ok
+// xor error, marshalable), and the core must keep serving afterwards.
+func FuzzHandleRequest(f *testing.F) {
+	seeds := []string{
+		// every op, well-formed
+		`{"op":"ping"}`,
+		`{"op":"query","rel":"T"}`,
+		`{"op":"query","rel":"T","epoch":true}`,
+		`{"op":"facts"}`,
+		`{"op":"stats"}`,
+		`{"op":"insert","facts":["E(a,b)"]}`,
+		`{"op":"retract","facts":["E(a,b)"]}`,
+		`{"op":"apply","insert":["E(x,y)"],"retract":["E(a,b)"]}`,
+		`{"op":"snapshot","path":"fuzz.snap"}`,
+		// malformed JSON
+		`{`,
+		`{"op":`,
+		`not json at all`,
+		`{"op":"ping"}{"op":"ping"}`,
+		// wrong-typed fields
+		`{"op":42}`,
+		`{"op":"insert","facts":"E(a,b)"}`,
+		`{"op":"query","rel":["T"]}`,
+		`{"op":"query","rel":"T","epoch":"yes"}`,
+		// hostile payloads
+		`{"op":"insert","facts":["T(a,b)"]}`,
+		`{"op":"insert","facts":["E(a"]}`,
+		`{"op":"insert","facts":["E(a,b,c,d,e,f)"]}`,
+		`{"op":"snapshot","path":"../../etc/passwd"}`,
+		`{"op":"snapshot","path":""}`,
+		`{"op":"query","rel":""}`,
+		`{"op":""}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		c := fuzzCore(t)
+		resp := c.HandleLine(line)
+		if resp.OK && resp.Err != "" {
+			t.Fatalf("response both ok and error: %+v", resp)
+		}
+		if !resp.OK && resp.Err == "" {
+			t.Fatalf("failed response carries no error: %+v", resp)
+		}
+		if _, err := json.Marshal(resp); err != nil {
+			t.Fatalf("unmarshalable response: %v", err)
+		}
+		// Liveness: the core still answers after whatever just happened.
+		if ping := c.HandleLine([]byte(`{"op":"ping"}`)); !ping.OK {
+			t.Fatalf("core dead after input %q: %+v", line, ping)
+		}
+	})
+}

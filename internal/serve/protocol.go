@@ -1,0 +1,205 @@
+// Package serve is calmd's server core: a concurrent, epoch-pinned
+// MVCC request loop around one incr.Materialization.
+//
+// The concurrency model, in one paragraph: all mutating ops
+// (insert/retract/apply, plus snapshot as a barrier op) flow through a
+// bounded queue into a single writer goroutine, which drains them in
+// arrival order as group-committed batches and publishes a fresh
+// immutable read epoch (incr.Epoch, copy-on-write posting lists) at
+// each batch barrier. Read ops (ping/query/facts/stats) never enter
+// the queue: each is pinned, at arrival, to the epoch current at that
+// moment and evaluated concurrently — any number of reads in flight,
+// zero coordination with the writer. This is the CALM result turned
+// into a server loop: coordination-free reads proceed against a
+// consistent grown state while growth happens elsewhere.
+//
+// Determinism contract: a query response is a pure function of the
+// epoch that served it. Responses to the same query at the same epoch
+// are byte-identical — across connections, across restarts from a
+// snapshot of that epoch, and against a single-threaded oracle that
+// replays the same committed delta sequence (the determinism property
+// test does exactly that). Query responses carry no sequence numbers
+// by default; a client that needs to know which epoch served it sets
+// "epoch":true on the request.
+//
+// The wire protocol is newline-delimited JSON, one request object per
+// line in, one response object per line out, in request order per
+// connection (reads complete out of order internally; a per-connection
+// ordering buffer re-sequences them). Requests:
+//
+//	{"op":"ping"}
+//	{"op":"insert","facts":["E(a,b)","E(b,c)"]}
+//	{"op":"retract","facts":["E(a,b)"]}
+//	{"op":"apply","insert":["E(a,b)"],"retract":["E(c,d)"]}
+//	{"op":"query","rel":"T"}
+//	{"op":"query","rel":"T","epoch":true}
+//	{"op":"facts"}
+//	{"op":"stats"}
+//	{"op":"snapshot","path":"state.snap"}
+//
+// Responses always carry "ok"; failures carry "error" and leave the
+// materialization untouched (delta validation happens before any
+// mutation). Mutating ops report the apply stats and the new sequence
+// number; snapshot reports the captured sequence number, which is
+// always exactly one committed epoch even with writes in flight.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/incr"
+)
+
+// Request is one protocol request line.
+type Request struct {
+	Op      string   `json:"op"`
+	Facts   []string `json:"facts,omitempty"`
+	Insert  []string `json:"insert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+	Rel     string   `json:"rel,omitempty"`
+	Path    string   `json:"path,omitempty"`
+	// Epoch asks query/facts responses to echo the sequence number of
+	// the epoch that served them. Off by default so the default
+	// response stays a pure function of the fact set alone.
+	Epoch bool `json:"epoch,omitempty"`
+}
+
+// ApplyBody reports what one mutating op did.
+type ApplyBody struct {
+	Inserted  int `json:"inserted"`
+	Retracted int `json:"retracted"`
+	Added     int `json:"added"`
+	Removed   int `json:"removed"`
+}
+
+// StatsBody is the stats op response payload, read from one epoch.
+type StatsBody struct {
+	Seq     int `json:"seq"`
+	Facts   int `json:"facts"`
+	Base    int `json:"base"`
+	Derived int `json:"derived"`
+}
+
+// Response is one protocol response line. Field order is part of the
+// wire format: tests byte-compare responses across restarts and
+// against oracle replays.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"error,omitempty"`
+	// Seq is a pointer so that sequence number 0 — a no-op delta on a
+	// fresh daemon — still reaches the wire; omitempty on a plain int
+	// would drop it. Query responses leave it nil on purpose: they must
+	// stay a pure function of the epoch state.
+	Seq   *int       `json:"seq,omitempty"`
+	Apply *ApplyBody `json:"apply,omitempty"`
+	Stats *StatsBody `json:"stats,omitempty"`
+	Count *int       `json:"count,omitempty"`
+	Facts []string   `json:"facts,omitempty"`
+	Path  string     `json:"path,omitempty"`
+	// Epoch echoes the serving epoch's sequence number when the
+	// request asked for it ("epoch":true).
+	Epoch *int `json:"epoch,omitempty"`
+
+	// raw, when non-nil, is this response's already-encoded wire line
+	// (no trailing newline). The session loop writes it verbatim
+	// instead of re-marshaling; the epoch render cache fills it so a
+	// repeated query costs one map hit, not one json.Marshal.
+	// Unexported: encoding/json ignores it, so marshaling a Response
+	// that carries raw reproduces exactly raw.
+	raw []byte
+}
+
+func errResp(format string, args ...any) Response {
+	return Response{Err: fmt.Sprintf(format, args...)}
+}
+
+// isReadOp reports whether the op runs against a pinned epoch without
+// entering the write queue.
+func isReadOp(op string) bool {
+	switch op {
+	case "ping", "query", "facts", "stats":
+		return true
+	}
+	return false
+}
+
+// isWriteOp reports whether the op is serialized through the writer
+// goroutine. Snapshot is a write in the ordering sense: it must
+// observe a commit barrier, never a half-applied batch.
+func isWriteOp(op string) bool {
+	switch op {
+	case "insert", "retract", "apply", "snapshot":
+		return true
+	}
+	return false
+}
+
+// factsFor renders the sorted fact strings for one relation, or for
+// the whole epoch when rel is "". The serving path passes a per-epoch
+// memoizing implementation (epochs are immutable, so each (epoch,
+// rel) renders at most once no matter how many queries hit it); the
+// oracle path recomputes directly. Both must produce identical
+// strings — the determinism test byte-compares them.
+type factsFor func(rel string) []string
+
+// epochFacts is the direct, uncached provider over one epoch.
+func epochFacts(ep *incr.Epoch) factsFor {
+	return func(rel string) []string {
+		if rel == "" {
+			return fact.FactStrings(ep.Facts())
+		}
+		return fact.FactStrings(ep.Rel(rel))
+	}
+}
+
+// readResponse answers a read op from one immutable epoch. It is a
+// pure function of (epoch, request): the determinism property test
+// replays it against oracle epochs and byte-compares with what the
+// concurrent server produced.
+func readResponse(ep *incr.Epoch, req Request) Response {
+	return readResponseWith(ep, req, epochFacts(ep))
+}
+
+// readResponseWith is readResponse with an explicit fact-string
+// provider (see factsFor).
+func readResponseWith(ep *incr.Epoch, req Request, facts factsFor) Response {
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+
+	case "query":
+		if req.Rel == "" {
+			return errResp("query needs a rel")
+		}
+		fs := facts(req.Rel)
+		n := len(fs)
+		resp := Response{OK: true, Count: &n, Facts: fs}
+		if req.Epoch {
+			seq := ep.Seq()
+			resp.Epoch = &seq
+		}
+		return resp
+
+	case "facts":
+		fs := facts("")
+		n := len(fs)
+		resp := Response{OK: true, Count: &n, Facts: fs}
+		if req.Epoch {
+			seq := ep.Seq()
+			resp.Epoch = &seq
+		}
+		return resp
+
+	case "stats":
+		return Response{OK: true, Stats: &StatsBody{
+			Seq:     ep.Seq(),
+			Facts:   ep.Len(),
+			Base:    ep.BaseLen(),
+			Derived: ep.Len() - ep.BaseLen(),
+		}}
+
+	default:
+		return errResp("unknown op %q", req.Op)
+	}
+}

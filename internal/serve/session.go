@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the per-connection request loop. One Serve call runs
+// two goroutines over the stream:
+//
+//   - the reader (the calling goroutine) scans request lines, reserves
+//     an ordering slot per request, and dispatches it — reads fan out
+//     to their own goroutines pinned to the arrival epoch, writes flow
+//     into the core's bounded queue;
+//   - the responder drains the ordering slots IN REQUEST ORDER,
+//     waiting on each response as needed, and flushes opportunistically
+//     (whenever no further response is immediately pending).
+//
+// The ordering buffer is a bounded channel of response slots, which is
+// also the pipeline window: with it full the reader stops consuming
+// input, so a client that pipelines faster than it reads responses is
+// throttled by its own socket — bounded memory per connection, no
+// matter how the client behaves.
+//
+// Error handling mirrors the single-threaded daemon exactly: malformed
+// JSON answers an error response and the loop continues; a scanner
+// failure (e.g. a line over the 16MiB buffer) is not a clean shutdown —
+// the client gets one final error response before the stream closes
+// and the error propagates to the caller, so the stdio daemon exits
+// non-zero.
+
+const maxLine = 16 * 1024 * 1024
+
+// decodeAndDispatch parses one request line and routes it; the
+// response is delivered to ch (1-buffered) exactly once. fence is the
+// connection's current write fence; the returned channel is the fence
+// the next request on the connection should carry (see dispatch).
+func (c *Core) decodeAndDispatch(line []byte, ch chan Response, fence <-chan struct{}) <-chan struct{} {
+	c.requests.Inc()
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		c.errors.Inc()
+		ch <- errResp("bad request: %v", err)
+		return fence
+	}
+	return c.dispatch(req, ch, fence)
+}
+
+// Serve runs the pipelined request loop until EOF, answering every
+// request line on w in request order.
+func (c *Core) Serve(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	pending := make(chan chan Response, c.opts.pipeline())
+	werr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var failed error
+		for ch := range pending {
+			resp := <-ch
+			if failed != nil {
+				continue // keep draining so dispatched work is reaped
+			}
+			if resp.raw != nil {
+				if _, err := bw.Write(resp.raw); err != nil {
+					failed = err
+					continue
+				}
+				if err := bw.WriteByte('\n'); err != nil {
+					failed = err
+					continue
+				}
+			} else if err := enc.Encode(resp); err != nil {
+				failed = err
+				continue
+			}
+			if len(pending) == 0 {
+				if err := bw.Flush(); err != nil {
+					failed = err
+				}
+			}
+		}
+		if failed == nil {
+			failed = bw.Flush()
+		}
+		werr <- failed
+	}()
+
+	var fence <-chan struct{} // last write on this connection (read-your-writes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ch := make(chan Response, 1)
+		pending <- ch // reserve the ordering slot; blocks at the pipeline bound
+		fence = c.decodeAndDispatch(line, ch, fence)
+	}
+	scanErr := sc.Err()
+	if scanErr != nil {
+		// Best-effort final error response; the write side may be gone.
+		ch := make(chan Response, 1)
+		ch <- errResp("read: %v", scanErr)
+		pending <- ch
+	}
+	close(pending)
+	wg.Wait()
+	writeErr := <-werr
+
+	if scanErr != nil {
+		return fmt.Errorf("read: %w", scanErr)
+	}
+	return writeErr
+}

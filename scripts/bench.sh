@@ -4,14 +4,16 @@
 # custom metric the benchmarks report (derivations/op, rounds/op,
 # msgs/run, msgs/tick, ...), so performance and work-profile changes
 # are diffable in review. Committed snapshots are named after the PR
-# that produced them (BENCH_PR<n>.json); BENCH_PR6.json is the
-# interned/columnar ablation, diffed against BENCH_PR4.json in
-# EXPERIMENTS.md PERF.6:
+# that produced them (BENCH_PR<n>.json); BENCH_PR7.json is the
+# concurrent-serving snapshot, whose CalmloadSerial/CalmloadPipelined
+# rows carry the pipelined-vs-serial speedup gate (EXPERIMENTS.md
+# PERF.7):
 #
-#	scripts/bench.sh BENCH_PR6.json
+#	scripts/bench.sh BENCH_PR7.json
 #
 # Usage: scripts/bench.sh [out.json]   (default: stdout)
-# Env:   BENCHTIME  per-benchmark time or count (default 0.5s)
+# Env:   BENCHTIME          per-benchmark time or count (default 0.5s)
+#        CALMLOAD_DURATION  calmload send window per run (default 1500ms)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +28,16 @@ go test -run '^$' -bench 'BenchmarkDisabledOverhead|BenchmarkEnabled' \
     -benchtime "$benchtime" ./internal/obs/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkIncr' \
     -benchtime "$benchtime" ./internal/incr/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkPinnedReads|BenchmarkColdReads|BenchmarkWriteCommit|BenchmarkEpochPublish' \
+    -benchtime "$benchtime" ./internal/serve/ >>"$tmp"
+
+# calmload end-to-end rows: the serial single-connection ping-pong
+# baseline and the pipelined multi-connection run on the read-heavy
+# mix, emitted in go-bench line format so the renderer folds them in.
+# Pipelined ops/s >= 2x serial ops/s is the PR-7 acceptance gate.
+calmload_duration="${CALMLOAD_DURATION:-1500ms}"
+go run ./cmd/calmload -compare -format gobench \
+    -duration "$calmload_duration" -read-frac 0.98 -conns 4 -window 32 >>"$tmp"
 
 render() {
     awk '
