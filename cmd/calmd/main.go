@@ -17,10 +17,18 @@
 // a daemon restored with -restore from a snapshot answers
 // byte-identically to the daemon that wrote it.
 //
+// With -shards N the daemon runs as a sharded cluster behind a
+// router speaking the same protocol (internal/cluster): base facts
+// are partitioned or replicated across N in-process shards, deltas
+// stream to shard pumps asynchronously, and the fragment classifier
+// picks the weakest sound coordination plan — coordination-free reads
+// for monotone programs, fenced reads under stratified negation.
+//
 // Usage:
 //
 //	calmd -program tc.dl -input graph.facts
 //	calmd -restore state.snap -listen localhost:4432
+//	calmd -program tc.dl -input graph.facts -shards 4 -placement component -listen localhost:4432
 //
 // See the protocol comment in internal/serve for the request/response
 // shapes.
@@ -33,6 +41,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/incr"
@@ -46,6 +55,8 @@ func main() {
 		inputPath   = flag.String("input", "", "path to the initial instance (default: empty instance)")
 		restorePath = flag.String("restore", "", "restore state from a calmd snapshot instead of -program/-input")
 		listenAddr  = flag.String("listen", "", "serve the protocol on this TCP address (default: stdin/stdout)")
+		shardCount  = flag.Int("shards", 0, "run as a sharded cluster with this many shards (0 = single node)")
+		placement   = flag.String("placement", "hash", "shard placement strategy for -shards: hash or component")
 		mode        = flag.String("mode", "seminaive", "maintenance evaluation mode: seminaive or parallel")
 		workers     = flag.Int("workers", 0, "worker goroutines for -mode parallel (0 = GOMAXPROCS)")
 		writeQueue  = flag.Int("write-queue", 0, "bound of the shared write queue (0 = default 256)")
@@ -70,6 +81,23 @@ func main() {
 		fatal(err)
 	}
 	opts := incr.Options{Mode: evalMode, Workers: *workers, Reg: reg, Sink: sink}
+
+	if *shardCount > 0 {
+		err := runCluster(*shardCount, *placement, *programPath, *inputPath, *restorePath,
+			*listenAddr, opts, serve.Options{
+				WriteQueue:  *writeQueue,
+				MaxBatch:    *maxBatch,
+				Pipeline:    *pipeline,
+				SnapshotDir: *snapshotDir,
+				Reg:         reg,
+			}, reg)
+		closeSink()
+		writeMetrics(reg, *metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	m, err := buildMaterialization(*programPath, *inputPath, *restorePath, opts)
 	if err != nil {
@@ -106,6 +134,79 @@ func main() {
 	writeMetrics(reg, *metricsPath)
 }
 
+// runCluster boots the sharded deployment: a cluster of shard cores
+// behind a router serving the same protocol on stdio or TCP.
+func runCluster(shards int, placement, programPath, inputPath, restorePath, listenAddr string,
+	incrOpts incr.Options, serveOpts serve.Options, reg *obs.Registry) error {
+	if restorePath != "" {
+		return fmt.Errorf("-restore is not supported with -shards (snapshots are per-shard; restore each shard endpoint directly)")
+	}
+	if incrOpts.Sink != nil {
+		return fmt.Errorf("-trace is not supported with -shards (per-shard event streams interleave nondeterministically)")
+	}
+	place, err := cluster.ParsePlacement(placement)
+	if err != nil {
+		return err
+	}
+	prog, input, err := loadProgram(programPath, inputPath)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(prog, input, cluster.Options{
+		Shards:    shards,
+		Placement: place,
+		Incr:      incrOpts,
+		Serve:     serveOpts,
+		Reg:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	plan := c.Plan()
+	fmt.Fprintf(os.Stderr, "calmd: %d shards, %s placement, %s plan (%s)\n",
+		shards, place, plan.Coordination, plan.Reason)
+
+	router := cluster.NewRouter(c)
+	if listenAddr == "" {
+		return router.Serve(os.Stdin, os.Stdout)
+	}
+	srv, err := serve.NewTCPServerFor(router, listenAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "calmd: listening on %s\n", srv.Addr())
+	return srv.Serve()
+}
+
+// loadProgram reads and parses the program and optional initial
+// instance.
+func loadProgram(programPath, inputPath string) (*datalog.Program, *fact.Instance, error) {
+	if programPath == "" {
+		return nil, nil, fmt.Errorf("-program is required unless -restore is given")
+	}
+	src, err := os.ReadFile(programPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := datalog.ParseProgram(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	input := fact.NewInstance()
+	if inputPath != "" {
+		data, err := os.ReadFile(inputPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		input, err = fact.ParseInstance(string(data))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return prog, input, nil
+}
+
 // buildMaterialization constructs the daemon state either from a
 // snapshot or from a program plus optional initial instance.
 func buildMaterialization(programPath, inputPath, restorePath string, opts incr.Options) (*incr.Materialization, error) {
@@ -120,27 +221,9 @@ func buildMaterialization(programPath, inputPath, restorePath string, opts incr.
 		defer f.Close()
 		return incr.Restore(f, opts)
 	}
-	if programPath == "" {
-		return nil, fmt.Errorf("-program is required unless -restore is given")
-	}
-	src, err := os.ReadFile(programPath)
+	prog, input, err := loadProgram(programPath, inputPath)
 	if err != nil {
 		return nil, err
-	}
-	prog, err := datalog.ParseProgram(string(src))
-	if err != nil {
-		return nil, err
-	}
-	input := fact.NewInstance()
-	if inputPath != "" {
-		data, err := os.ReadFile(inputPath)
-		if err != nil {
-			return nil, err
-		}
-		input, err = fact.ParseInstance(string(data))
-		if err != nil {
-			return nil, err
-		}
 	}
 	return incr.New(prog, input, opts)
 }

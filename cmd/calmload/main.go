@@ -7,10 +7,16 @@
 //
 // With no -addr it boots its own in-process daemon (transitive
 // closure over a seeded chain graph) on a loopback port, so a single
-// command measures the full TCP serving stack:
+// command measures the full TCP serving stack. -addr accepts a
+// comma-separated endpoint list — connection i dials endpoint i mod N,
+// the placement-aware client path against a sharded deployment — and
+// -self-shards boots an in-process sharded cluster and drives its
+// per-shard endpoints (or its router, with -via-router):
 //
 //	calmload -compare -duration 2s
 //	calmload -addr localhost:4432 -conns 8 -window 64
+//	calmload -addr localhost:4432,localhost:4433 -conns 8
+//	calmload -self-shards 4 -conns 8 -duration 2s
 //	calmload -smoke -duration 300ms   # CI gate: ops > 0, errors == 0
 //
 // -format gobench emits benchmark-formatted lines that
@@ -23,42 +29,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/load"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "calmd TCP address (default: boot an in-process daemon)")
-		chain    = flag.Int("self-chain", 16, "chain-graph length seeding the in-process daemon")
-		conns    = flag.Int("conns", 4, "concurrent connections")
-		window   = flag.Int("window", 32, "max in-flight requests per connection (1 = serial ping-pong)")
-		duration = flag.Duration("duration", 2*time.Second, "send window per run")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		readFrac = flag.Float64("read-frac", 0.9, "fraction of requests that are reads")
-		compare  = flag.Bool("compare", false, "also run the serial 1-connection baseline and report speedup")
-		smoke    = flag.Bool("smoke", false, "exit non-zero unless ops > 0 and protocol errors == 0")
-		format   = flag.String("format", "json", "output format: json or gobench")
-		out      = flag.String("out", "-", `output file ("-" = stdout)`)
+		addr      = flag.String("addr", "", "calmd TCP address(es), comma-separated; conn i dials addr i mod N (default: boot an in-process daemon)")
+		chain     = flag.Int("self-chain", 16, "chain-graph length seeding the in-process daemon")
+		shards    = flag.Int("self-shards", 0, "boot an in-process sharded cluster with this many shards and drive its per-shard endpoints")
+		placement = flag.String("placement", "component", "placement strategy for -self-shards: hash or component")
+		viaRouter = flag.Bool("via-router", false, "with -self-shards, drive the cluster router instead of the per-shard endpoints")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		window    = flag.Int("window", 32, "max in-flight requests per connection (1 = serial ping-pong)")
+		duration  = flag.Duration("duration", 2*time.Second, "send window per run")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		readFrac  = flag.Float64("read-frac", 0.9, "fraction of requests that are reads")
+		compare   = flag.Bool("compare", false, "also run the serial 1-connection baseline and report speedup")
+		smoke     = flag.Bool("smoke", false, "exit non-zero unless ops > 0 and protocol errors == 0")
+		format    = flag.String("format", "json", "output format: json or gobench")
+		benchName = flag.String("bench-name", "", "with -format gobench, override the benchmark name (default: derived from run shape)")
+		out       = flag.String("out", "-", `output file ("-" = stdout)`)
 	)
 	flag.Parse()
 
-	target := *addr
-	if target == "" {
-		var shutdown func()
-		var err error
-		target, shutdown, err = load.StartSelf(*chain, serve.Options{})
+	var targets []string
+	switch {
+	case *addr != "":
+		targets = strings.Split(*addr, ",")
+	case *shards > 0:
+		place, err := cluster.ParsePlacement(*placement)
+		if err != nil {
+			fatal(err)
+		}
+		eps, shutdown, err := load.StartCluster(*chain, *shards, place, serve.Options{})
 		if err != nil {
 			fatal(err)
 		}
 		defer shutdown()
+		if *viaRouter {
+			targets = []string{eps.Router}
+		} else {
+			targets = eps.Shards
+		}
+		fmt.Fprintf(os.Stderr, "calmload: in-process cluster: router %s, shards %s\n",
+			eps.Router, strings.Join(eps.Shards, ","))
+	default:
+		target, shutdown, err := load.StartSelf(*chain, serve.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		targets = []string{target}
 		fmt.Fprintf(os.Stderr, "calmload: in-process daemon on %s\n", target)
 	}
 
 	cfg := load.Config{
-		Addr:     target,
+		Addrs:    targets,
 		Conns:    *conns,
 		Window:   *window,
 		Duration: *duration,
@@ -101,7 +132,7 @@ func main() {
 			fatal(err)
 		}
 	case "gobench":
-		writeGobench(w, results)
+		writeGobench(w, results, *benchName)
 	default:
 		fatal(fmt.Errorf("unknown -format %q", *format))
 	}
@@ -120,13 +151,18 @@ func main() {
 // writeGobench renders results in `go test -bench` line format so
 // scripts/bench.sh's renderer picks them up. Names must not end in
 // -<digits> (the renderer strips a GOMAXPROCS suffix); run shape
-// lands in the conns/window metric columns instead.
-func writeGobench(w *os.File, results []*load.Result) {
+// lands in the conns/window metric columns instead. nameOverride
+// replaces the derived name — the shard sweep uses it to label one
+// row per shard count (BenchmarkCalmloadShards<n>).
+func writeGobench(w *os.File, results []*load.Result, nameOverride string) {
 	fmt.Fprintln(w, "pkg: repro/cmd/calmload")
 	for _, r := range results {
 		name := "BenchmarkCalmloadPipelined"
 		if r.Conns == 1 && r.Window == 1 {
 			name = "BenchmarkCalmloadSerial"
+		}
+		if nameOverride != "" {
+			name = nameOverride
 		}
 		nsPerOp := int64(0)
 		if r.Ops > 0 {

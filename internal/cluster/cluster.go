@@ -1,0 +1,935 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/transducer"
+)
+
+// routerNode is the fault-plan identity of the router: the "sender"
+// of every delta delivery on the simulated shard network.
+const routerNode = transducer.NodeID("router")
+
+// Options configures a Cluster. The zero value runs 2 shards with
+// hash placement and no faults.
+type Options struct {
+	// Shards is the shard count (default 2, minimum 1).
+	Shards int
+	// Placement selects the placement strategy (default PlaceHash).
+	Placement PlacementKind
+	// Incr configures each shard's materialization. Incr.Sink must be
+	// nil: per-shard event streams would interleave nondeterministically
+	// through one sink, and the repo's event contract is deterministic.
+	Incr incr.Options
+	// Serve configures each shard's serving core.
+	Serve serve.Options
+	// Reg, when non-nil, receives the cluster.* metrics.
+	Reg *obs.Registry
+	// Faults, when non-nil, injects duplication/delay/partition faults
+	// into the delta stream, exactly as transducer fault plans inject
+	// them into simulated networks: every decision is a pure function
+	// of (seed, log position, shard), so faulty runs replay
+	// deterministically. Faults act on replica deliveries only — the
+	// delivery a client is waiting on applies locally — and crash
+	// events are driven by the caller through Crash/Restart. Delays
+	// reorder insert-only deliveries only (reordering is sound exactly
+	// for monotone delta streams); a retract-bearing delivery releases
+	// every hold on its shard before applying.
+	Faults *transducer.FaultPlan
+}
+
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return 2
+}
+
+func (o Options) placement() PlacementKind {
+	if o.Placement == "" {
+		return PlaceHash
+	}
+	return o.Placement
+}
+
+// record is one global delta-log entry: a client write split into
+// per-shard sub-requests. subs[j].Op == "" means shard j has nothing
+// to apply at this position — its pump still observes the entry so
+// the watermark advances uniformly. key is the fault-decision key
+// (the write's first fact); writes with no facts take no faults.
+type record struct {
+	g      int
+	subs   []serve.Request
+	key    fact.Fact
+	hasKey bool
+}
+
+// delivery is one inbox item for one shard: a log record to apply, or
+// a flush control message releasing every held delta (quiescence).
+// resp, when non-nil, receives the shard's apply response — the ack
+// the submitting client is waiting on.
+type delivery struct {
+	rec   *record
+	resp  chan serve.Response
+	flush bool
+}
+
+// heldDelivery is a fault-delayed delivery waiting for the clock (the
+// global log position) to reach release.
+type heldDelivery struct {
+	d       delivery
+	release int
+}
+
+// shard is one cluster member: a serving core fed by a pump goroutine
+// draining an unbounded FIFO inbox. Pumps never coordinate with each
+// other — a slow shard lags behind the log tip; its watermark says by
+// how much.
+type shard struct {
+	id   int
+	c    *Cluster
+	node transducer.NodeID
+
+	// core is swapped on restart; readers load it after a watermark
+	// fence, pumps use it exclusively between restart and crash.
+	core atomic.Pointer[serve.Core]
+
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	q        []delivery
+	stop     bool
+	pumpDone chan struct{}
+
+	wmMu   sync.Mutex
+	wmCond *sync.Cond
+	wm     int // highest g with every delivery ≤ g applied
+	down   bool
+}
+
+// compState is the partition-mode bookkeeping for one co(I)
+// component: its base facts, all resident on the shard given by the
+// hash of the component's minimum value.
+type compState struct {
+	facts map[string]fact.Fact
+}
+
+// Cluster is N in-process shards behind one global delta log. All
+// client traffic flows through SubmitWrite/Read (the Router wraps
+// them in the NDJSON protocol); per-shard serving cores may also be
+// exposed directly for placement-aware clients.
+type Cluster struct {
+	prog   *datalog.Program
+	plan   Plan
+	place  PlacementKind
+	opts   Options
+	idb    fact.Schema
+	schema fact.Schema
+	shards []*shard
+	// share[j] is shard j's slice of the initial instance — replayed
+	// on restart before the log.
+	share  []*fact.Instance
+	faults *transducer.FaultPlan
+
+	mu     sync.Mutex
+	log    []*record
+	ci     *componentIndex
+	comp   map[fact.Value]*compState
+	closed bool
+
+	writes, reads, errors     *obs.Counter
+	deliveries, migrations    *obs.Counter
+	fenceWaits, gathers       *obs.Counter
+	crashes, recoveries       *obs.Counter
+}
+
+// New builds a cluster of opts.Shards shards over the program and
+// initial base instance. In partitioned mode the initial instance is
+// split by co(I) component; otherwise every shard materializes the
+// full instance.
+func New(p *datalog.Program, initial *fact.Instance, opts Options) (*Cluster, error) {
+	if opts.Incr.Sink != nil {
+		return nil, fmt.Errorf("cluster: Incr.Sink must be nil (per-shard event streams interleave nondeterministically)")
+	}
+	n := opts.shards()
+	place := opts.placement()
+	schema, err := p.Schema()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %v", err)
+	}
+	c := &Cluster{
+		prog:   p,
+		plan:   PlanFor(p, place),
+		place:  place,
+		opts:   opts,
+		idb:    p.IDB(),
+		schema: schema,
+		faults: opts.Faults,
+		ci:     newComponentIndex(n),
+		comp:   make(map[fact.Value]*compState),
+
+		writes:     opts.Reg.Counter(obs.ClusterWrites),
+		reads:      opts.Reg.Counter(obs.ClusterReads),
+		errors:     opts.Reg.Counter(obs.ClusterErrors),
+		deliveries: opts.Reg.Counter(obs.ClusterDeliveries),
+		migrations: opts.Reg.Counter(obs.ClusterMigrations),
+		fenceWaits: opts.Reg.Counter(obs.ClusterFenceWaits),
+		gathers:    opts.Reg.Counter(obs.ClusterGathers),
+		crashes:    opts.Reg.Counter(obs.ClusterCrashes),
+		recoveries: opts.Reg.Counter(obs.ClusterRecoveries),
+	}
+	c.share = c.splitInitial(initial, n)
+	for j := 0; j < n; j++ {
+		m, err := incr.New(p, c.share[j], opts.Incr)
+		if err != nil {
+			for _, sh := range c.shards {
+				sh.core.Load().Close()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %v", j, err)
+		}
+		sh := &shard{
+			id:       j,
+			c:        c,
+			node:     transducer.NodeID(fmt.Sprintf("s%d", j)),
+			pumpDone: make(chan struct{}),
+		}
+		sh.qcond = sync.NewCond(&sh.qmu)
+		sh.wmCond = sync.NewCond(&sh.wmMu)
+		sh.core.Store(serve.NewCore(m, opts.Serve))
+		c.shards = append(c.shards, sh)
+	}
+	for _, sh := range c.shards {
+		go sh.pump()
+	}
+	return c, nil
+}
+
+// splitInitial computes each shard's share of the initial instance.
+// Partitioned mode seeds the component index with the whole instance
+// first (so initial placement equals the static PlaceInstance answer)
+// and routes each fact by its final component; replicated mode gives
+// every shard the full instance.
+func (c *Cluster) splitInitial(initial *fact.Instance, n int) []*fact.Instance {
+	share := make([]*fact.Instance, n)
+	if !c.plan.Partitioned {
+		for j := range share {
+			share[j] = initial
+		}
+		return share
+	}
+	for j := range share {
+		share[j] = fact.NewInstance()
+	}
+	if initial == nil {
+		return share
+	}
+	initial.Each(func(f fact.Fact) bool {
+		if f.Arity() > 0 {
+			c.ci.observe(f)
+		}
+		return true
+	})
+	initial.Each(func(f fact.Fact) bool {
+		var home int
+		if f.Arity() == 0 {
+			home = hashShard(f.Key(), n)
+		} else {
+			root := c.ci.find(f.Arg(0))
+			st := c.comp[root]
+			if st == nil {
+				st = &compState{facts: make(map[string]fact.Fact)}
+				c.comp[root] = st
+			}
+			st.facts[f.Key()] = f
+			home = c.ci.shardOf(root)
+		}
+		share[home].Add(f)
+		return true
+	})
+	return share
+}
+
+// Plan returns the coordination plan the fragment classifier chose.
+func (c *Cluster) Plan() Plan { return c.plan }
+
+// Placement returns the configured placement strategy.
+func (c *Cluster) Placement() PlacementKind { return c.place }
+
+// ShardCount returns the number of shards.
+func (c *Cluster) ShardCount() int { return len(c.shards) }
+
+// ShardCore returns shard j's serving core, for callers that expose
+// per-shard endpoints (placement-aware smart clients). The pointer is
+// the current incarnation; after a Crash/Restart cycle it is stale.
+func (c *Cluster) ShardCore(j int) *serve.Core { return c.shards[j].core.Load() }
+
+// LogLen returns the global delta-log length — the fence a
+// coordinated read waits for.
+func (c *Cluster) LogLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.log)
+}
+
+// Watermarks returns each shard's applied log prefix.
+func (c *Cluster) Watermarks() []int {
+	wms := make([]int, len(c.shards))
+	for j, sh := range c.shards {
+		wms[j] = sh.watermark()
+	}
+	return wms
+}
+
+// Close shuts every shard down. Outstanding writes racing the close
+// are answered with an error.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		if !sh.isDown() {
+			sh.crash()
+		}
+	}
+}
+
+// --- write path ---------------------------------------------------
+
+// SubmitWrite validates one mutating request, appends it to the
+// global delta log, streams it to the shard pumps, and waits for the
+// home shard acks. It returns the aggregated response and the log
+// position (0 when the write was rejected before logging).
+//
+// Response semantics differ by mode, deliberately: replicated mode
+// returns the home shard's response verbatim, so seq numbers are
+// shard sequence numbers — identical on every shard and equal to the
+// single-node oracle's (the determinism battery byte-compares them).
+// Partitioned mode aggregates sub-responses and reports seq as the
+// global log position, the only total order that exists there; apply
+// stats include migration traffic when a write bridges components.
+func (c *Cluster) SubmitWrite(req serve.Request) (serve.Response, int) {
+	c.writes.Inc()
+	if req.Op == "snapshot" {
+		c.errors.Inc()
+		return serve.ErrResp("snapshot is a per-shard operation; connect to a shard endpoint directly"), 0
+	}
+	if !serve.IsWrite(req.Op) {
+		c.errors.Inc()
+		return serve.ErrResp("unknown op %q", req.Op), 0
+	}
+	ins, ret, err := c.parseDelta(req)
+	if err != nil {
+		c.errors.Inc()
+		return serve.ErrResp("%v", err), 0
+	}
+
+	n := len(c.shards)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.errors.Inc()
+		return serve.ErrResp("cluster is closed"), 0
+	}
+	g := len(c.log) + 1
+	rec := &record{g: g}
+	if len(ins) > 0 {
+		rec.key, rec.hasKey = ins[0], true
+	} else if len(ret) > 0 {
+		rec.key, rec.hasKey = ret[0], true
+	}
+	var homes []int
+	var migrated int
+	if c.plan.Partitioned {
+		rec.subs, migrated = c.placeDelta(ins, ret)
+		for j, s := range rec.subs {
+			if s.Op != "" {
+				homes = append(homes, j)
+			}
+		}
+		if len(homes) == 0 {
+			// Empty delta: one shard still acks, so the client gets a
+			// well-formed apply response.
+			rec.subs[0] = serve.Request{Op: "apply"}
+			homes = []int{0}
+		}
+	} else {
+		rec.subs = make([]serve.Request, n)
+		for j := range rec.subs {
+			rec.subs[j] = req
+		}
+		h := 0
+		if rec.hasKey {
+			h = HashPlace(rec.key, n)
+		}
+		homes = []int{h}
+	}
+	c.log = append(c.log, rec)
+	isHome := make(map[int]bool, len(homes))
+	for _, j := range homes {
+		isHome[j] = true
+	}
+	acks := make([]chan serve.Response, 0, len(homes))
+	for j, sh := range c.shards {
+		d := delivery{rec: rec}
+		if isHome[j] {
+			d.resp = make(chan serve.Response, 1)
+			acks = append(acks, d.resp)
+		}
+		sh.enqueue(d)
+	}
+	c.mu.Unlock()
+	if migrated > 0 {
+		c.migrations.Add(int64(migrated))
+	}
+
+	if !c.plan.Partitioned {
+		resp := <-acks[0]
+		if !resp.OK {
+			c.errors.Inc()
+		}
+		return resp, g
+	}
+	agg := serve.Response{OK: true, Apply: &serve.ApplyBody{}}
+	for _, ch := range acks {
+		r := <-ch
+		if !r.OK {
+			c.errors.Inc()
+			return serve.ErrResp("%s", r.Err), g
+		}
+		if r.Apply != nil {
+			agg.Apply.Inserted += r.Apply.Inserted
+			agg.Apply.Retracted += r.Apply.Retracted
+			agg.Apply.Added += r.Apply.Added
+			agg.Apply.Removed += r.Apply.Removed
+		}
+	}
+	agg.Seq = &g
+	return agg, g
+}
+
+// parseDelta decodes and validates a write's fact lists: known base
+// relations only, schema arity, no NUL bytes, no fact on both sides.
+func (c *Cluster) parseDelta(req serve.Request) (ins, ret []fact.Fact, err error) {
+	var insStrs, retStrs []string
+	switch req.Op {
+	case "insert":
+		insStrs = req.Facts
+	case "retract":
+		retStrs = req.Facts
+	case "apply":
+		insStrs, retStrs = req.Insert, req.Retract
+	}
+	if ins, err = fact.ParseFacts(insStrs); err != nil {
+		return nil, nil, err
+	}
+	if ret, err = fact.ParseFacts(retStrs); err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[string]bool, len(ins))
+	for _, f := range ins {
+		if err := c.checkFact(f); err != nil {
+			return nil, nil, err
+		}
+		seen[f.Key()] = true
+	}
+	for _, f := range ret {
+		if err := c.checkFact(f); err != nil {
+			return nil, nil, err
+		}
+		if seen[f.Key()] {
+			return nil, nil, fmt.Errorf("cluster: %v appears in both insert and retract", f)
+		}
+	}
+	return ins, ret, nil
+}
+
+// checkFact mirrors the materialization's base-fact validation so a
+// bad write is rejected at the router, before it reaches the log.
+func (c *Cluster) checkFact(f fact.Fact) error {
+	if c.idb.Has(f.Rel()) {
+		return fmt.Errorf("cluster: %v is over derived relation %s; deltas must change base relations only", f, f.Rel())
+	}
+	if ar, ok := c.schema.Arity(f.Rel()); ok && ar != f.Arity() {
+		return fmt.Errorf("cluster: %v has arity %d, program uses %s with arity %d", f, f.Arity(), f.Rel(), ar)
+	}
+	for i := 0; i < f.Arity(); i++ {
+		if strings.ContainsRune(string(f.Arg(i)), 0) {
+			return fmt.Errorf("cluster: %v contains a NUL byte", f)
+		}
+	}
+	return nil
+}
+
+// placeDelta routes a validated delta in partitioned mode: every fact
+// goes to its component's home shard, and an insert that bridges
+// components resident on different shards migrates the absorbed
+// component to the survivor's home (synthetic retract+insert pairs in
+// the same log record, so each base fact lives on exactly one shard
+// at every log position). Called with c.mu held — placement decisions
+// are serialized in log order. Retraction never re-splits a merged
+// component: the index only coarsens, which is sound (colocating more
+// than co(I) requires keeps every derivation local) if less sharp.
+func (c *Cluster) placeDelta(ins, ret []fact.Fact) ([]serve.Request, int) {
+	n := len(c.shards)
+	type sub struct{ ins, ret []string }
+	subs := make([]sub, n)
+	migrated := 0
+
+	for _, f := range ret {
+		var target int
+		if f.Arity() == 0 {
+			target = hashShard(f.Key(), n)
+		} else {
+			root := c.ci.find(f.Arg(0))
+			if st := c.comp[root]; st != nil {
+				delete(st.facts, f.Key())
+			}
+			target = c.ci.shardOf(root)
+		}
+		subs[target].ret = append(subs[target].ret, f.String())
+	}
+
+	for _, f := range ins {
+		if f.Arity() == 0 {
+			subs[hashShard(f.Key(), n)].ins = append(subs[hashShard(f.Key(), n)].ins, f.String())
+			continue
+		}
+		root := c.ci.find(f.Arg(0))
+		c.ensureComp(root)
+		for i := 1; i < f.Arity(); i++ {
+			r2 := c.ci.find(f.Arg(i))
+			if r2 == root {
+				continue
+			}
+			c.ensureComp(r2)
+			// The absorbed root's home is the hash of its (still
+			// recorded) pre-merge minimum; the survivor's home is
+			// unchanged because union keeps the overall minimum.
+			win, lose, merged := c.ci.union(root, r2)
+			if !merged {
+				root = win
+				continue
+			}
+			loseHome := hashShard(string(c.ci.min[lose]), n)
+			winHome := c.ci.shardOf(win)
+			lst := c.comp[lose]
+			wst := c.comp[win]
+			if loseHome != winHome && len(lst.facts) > 0 {
+				moved := make([]fact.Fact, 0, len(lst.facts))
+				for _, mf := range lst.facts {
+					moved = append(moved, mf)
+				}
+				fact.SortFacts(moved)
+				for _, mf := range moved {
+					subs[loseHome].ret = append(subs[loseHome].ret, mf.String())
+					subs[winHome].ins = append(subs[winHome].ins, mf.String())
+				}
+				migrated++
+			}
+			for k, mf := range lst.facts {
+				wst.facts[k] = mf
+			}
+			delete(c.comp, lose)
+			root = win
+		}
+		st := c.comp[root]
+		st.facts[f.Key()] = f
+		home := c.ci.shardOf(root)
+		subs[home].ins = append(subs[home].ins, f.String())
+	}
+
+	out := make([]serve.Request, n)
+	for j := range out {
+		if len(subs[j].ins) == 0 && len(subs[j].ret) == 0 {
+			continue
+		}
+		out[j] = serve.Request{Op: "apply", Insert: subs[j].ins, Retract: subs[j].ret}
+	}
+	return out, migrated
+}
+
+func (c *Cluster) ensureComp(root fact.Value) {
+	if c.comp[root] == nil {
+		c.comp[root] = &compState{facts: make(map[string]fact.Fact)}
+	}
+}
+
+// --- read path ----------------------------------------------------
+
+// Read answers one read request. fence is the log position the read
+// must observe: the connection's last own write under a
+// coordination-free plan, the log tip at arrival under a fenced plan.
+// Replicated mode routes to the affinity shard (skipping down
+// shards); partitioned mode scatters to every live shard and gathers
+// the disjoint union.
+func (c *Cluster) Read(affinity int, req serve.Request, fence int) serve.Response {
+	c.reads.Inc()
+	if !serve.IsRead(req.Op) {
+		c.errors.Inc()
+		return serve.ErrResp("unknown op %q", req.Op)
+	}
+	if c.plan.Partitioned {
+		return c.gather(req, fence)
+	}
+	n := len(c.shards)
+	for k := 0; k < n; k++ {
+		sh := c.shards[(affinity+k)%n]
+		if sh.waitWM(fence) {
+			return sh.core.Load().Do(req)
+		}
+	}
+	c.errors.Inc()
+	return serve.ErrResp("cluster: every shard is down")
+}
+
+// gather is the partitioned read: pin one epoch per live shard behind
+// the fence and merge. For connected monotone programs the shard
+// answers are disjoint slices of Q(I) (Theorem 5.3), so the merge is
+// a disjoint union; a down shard's slice is missing — the gathered
+// answer is a subset of Q(I) that recovers with the shard, which is
+// exactly the transducer model's crash semantics. Epoch echoes and
+// stats seq report the minimum watermark across consulted shards:
+// the longest log prefix the whole answer is guaranteed to reflect.
+func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
+	c.gathers.Inc()
+	if req.Op == "ping" {
+		return serve.Response{OK: true}
+	}
+	if req.Op == "query" && req.Rel == "" {
+		c.errors.Inc()
+		return serve.ErrResp("query needs a rel")
+	}
+	var eps []*incr.Epoch
+	minWM := -1
+	for _, sh := range c.shards {
+		if !sh.waitWM(fence) {
+			continue
+		}
+		core := sh.core.Load()
+		wm := sh.watermark()
+		eps = append(eps, core.CurrentEpoch())
+		if minWM == -1 || wm < minWM {
+			minWM = wm
+		}
+	}
+	if len(eps) == 0 {
+		c.errors.Inc()
+		return serve.ErrResp("cluster: every shard is down")
+	}
+
+	switch req.Op {
+	case "query", "facts":
+		rel := req.Rel
+		if req.Op == "facts" {
+			rel = ""
+		}
+		lists := make([][]fact.Fact, len(eps))
+		for i, ep := range eps {
+			if rel == "" {
+				lists[i] = ep.Facts()
+			} else {
+				lists[i] = ep.Rel(rel)
+			}
+		}
+		fs := factStringsMerged(lists)
+		ncount := len(fs)
+		resp := serve.Response{OK: true, Count: &ncount, Facts: fs}
+		if req.Epoch {
+			resp.Epoch = &minWM
+		}
+		return resp
+	case "stats":
+		st := &serve.StatsBody{Seq: minWM}
+		for _, ep := range eps {
+			st.Facts += ep.Len()
+			st.Base += ep.BaseLen()
+		}
+		st.Derived = st.Facts - st.Base
+		return serve.Response{OK: true, Stats: st}
+	}
+	c.errors.Inc()
+	return serve.ErrResp("unknown op %q", req.Op)
+}
+
+// --- fault lifecycle ----------------------------------------------
+
+// Crash stops shard j, discarding its in-memory state and every
+// queued or held delivery (the log keeps them). Pending acks on the
+// shard are answered with an error: the write is logged and will be
+// recovered, but its ack is lost — at-least-once, like any crash
+// between apply and reply.
+func (c *Cluster) Crash(j int) error {
+	if j < 0 || j >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", j)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh := c.shards[j]
+	if sh.isDown() {
+		return fmt.Errorf("cluster: shard %d is already down", j)
+	}
+	sh.crash()
+	c.crashes.Inc()
+	return nil
+}
+
+// Restart rebuilds shard j from its initial share plus a full replay
+// of the global delta log — the transducer model's crash-recovery
+// rebroadcast — and rejoins it to the stream. The shard's watermark
+// restarts at zero and climbs as the replay catches up; reads fence
+// on it as usual, so a recovering shard serves only once it has
+// reached the reader's fence.
+func (c *Cluster) Restart(j int) error {
+	if j < 0 || j >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", j)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh := c.shards[j]
+	if !sh.isDown() {
+		return fmt.Errorf("cluster: shard %d is not down", j)
+	}
+	m, err := incr.New(c.prog, c.share[j], c.opts.Incr)
+	if err != nil {
+		return fmt.Errorf("cluster: restart shard %d: %v", j, err)
+	}
+	backlog := make([]delivery, len(c.log))
+	for i, rec := range c.log {
+		backlog[i] = delivery{rec: rec}
+	}
+	sh.restart(serve.NewCore(m, c.opts.Serve), backlog)
+	c.recoveries.Inc()
+	return nil
+}
+
+// Quiesce flushes every fault-held delivery and waits until every
+// live shard's watermark reaches the current log tip: afterwards all
+// live shards have applied the full log prefix, the state every
+// fair run converges to.
+func (c *Cluster) Quiesce() {
+	c.mu.Lock()
+	tip := len(c.log)
+	for _, sh := range c.shards {
+		sh.enqueue(delivery{flush: true})
+	}
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		sh.waitWM(tip)
+	}
+}
+
+// --- shard machinery ----------------------------------------------
+
+// enqueue appends one delivery to the shard inbox. A down shard
+// answers any expected ack with an error instead; the record stays in
+// the log for replay.
+func (sh *shard) enqueue(d delivery) {
+	sh.qmu.Lock()
+	if sh.stop {
+		sh.qmu.Unlock()
+		if d.resp != nil {
+			d.resp <- serve.ErrResp("cluster: shard %d is down", sh.id)
+		}
+		return
+	}
+	sh.q = append(sh.q, d)
+	sh.qcond.Signal()
+	sh.qmu.Unlock()
+}
+
+// next blocks for the next inbox delivery; false means the shard is
+// stopping.
+func (sh *shard) next() (delivery, bool) {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	for len(sh.q) == 0 && !sh.stop {
+		sh.qcond.Wait()
+	}
+	if sh.stop {
+		return delivery{}, false
+	}
+	d := sh.q[0]
+	sh.q = sh.q[1:]
+	return d, true
+}
+
+// pump is the shard's delivery loop: apply log entries in arrival
+// order, diverting through the fault plan when one is installed.
+// Holds and duplicates follow the plan's pure per-message decisions
+// with the global log position as the clock; held deliveries release
+// when the clock passes their release tick, or all at once on a
+// flush. held is pump-local: a crash drops it with the goroutine,
+// and recovery replays from the log.
+//
+// Only insert-only deliveries may be held past later deliveries:
+// reordering is sound exactly for monotone delta streams (applies
+// commute and are idempotent, the CALM shape), while a delayed insert
+// overtaken by a retraction of the same fact would resurrect it. A
+// retract-bearing delivery is therefore a per-shard synchronization
+// point — it releases every hold before applying, the delta-stream
+// analogue of the coordination that non-monotonicity costs.
+func (sh *shard) pump() {
+	defer close(sh.pumpDone)
+	var held []heldDelivery
+	maxSeen := 0
+
+	release := func(upTo int) {
+		kept := held[:0]
+		for _, h := range held {
+			if upTo >= 0 && h.release > upTo {
+				kept = append(kept, h)
+				continue
+			}
+			sh.apply(h.d)
+		}
+		held = kept
+	}
+	updateWM := func() {
+		wm := maxSeen
+		for _, h := range held {
+			if h.d.rec.g-1 < wm {
+				wm = h.d.rec.g - 1
+			}
+		}
+		sh.setWM(wm)
+	}
+
+	for {
+		d, ok := sh.next()
+		if !ok {
+			return
+		}
+		if d.flush {
+			release(-1)
+			updateWM()
+			continue
+		}
+		g := d.rec.g
+		release(g)
+		sub := d.rec.subs[sh.id]
+		mono := sub.Op != "retract" && len(sub.Retract) == 0
+		if !mono {
+			release(-1) // retraction barrier: nothing may be reordered past it
+		}
+		if p := sh.c.faults; p != nil && mono && d.resp == nil && d.rec.hasKey {
+			if hold := p.HoldFor(g, routerNode, sh.node, d.rec.key); hold > 0 {
+				held = append(held, heldDelivery{d: d, release: g + hold})
+				maxSeen = g
+				updateWM()
+				continue
+			}
+			if p.ExtraCopies(g, routerNode, sh.node, d.rec.key) > 0 {
+				sh.apply(delivery{rec: d.rec}) // duplicate copy; applies are idempotent
+			}
+		}
+		sh.apply(d)
+		maxSeen = g
+		updateWM()
+	}
+}
+
+// apply runs one delivery against the serving core and acks it.
+func (sh *shard) apply(d delivery) {
+	req := d.rec.subs[sh.id]
+	var r serve.Response
+	if req.Op == "" {
+		r = serve.Response{OK: true}
+	} else {
+		r = sh.core.Load().Do(req)
+		sh.c.deliveries.Inc()
+	}
+	if d.resp != nil {
+		d.resp <- r
+	}
+}
+
+func (sh *shard) setWM(wm int) {
+	sh.wmMu.Lock()
+	if wm != sh.wm {
+		sh.wm = wm
+		sh.wmCond.Broadcast()
+	}
+	sh.wmMu.Unlock()
+}
+
+func (sh *shard) watermark() int {
+	sh.wmMu.Lock()
+	defer sh.wmMu.Unlock()
+	return sh.wm
+}
+
+func (sh *shard) isDown() bool {
+	sh.wmMu.Lock()
+	defer sh.wmMu.Unlock()
+	return sh.down
+}
+
+// waitWM blocks until the shard's watermark reaches g; false means
+// the shard is down (the caller should route around it).
+func (sh *shard) waitWM(g int) bool {
+	sh.wmMu.Lock()
+	defer sh.wmMu.Unlock()
+	if sh.down {
+		return false
+	}
+	if sh.wm < g {
+		sh.c.fenceWaits.Inc()
+	}
+	for sh.wm < g {
+		if sh.down {
+			return false
+		}
+		sh.wmCond.Wait()
+	}
+	return true
+}
+
+// crash stops the pump, answers queued acks with errors, closes the
+// core and marks the shard down. Callers hold c.mu.
+func (sh *shard) crash() {
+	sh.qmu.Lock()
+	sh.stop = true
+	q := sh.q
+	sh.q = nil
+	sh.qcond.Broadcast()
+	sh.qmu.Unlock()
+	<-sh.pumpDone
+	for _, d := range q {
+		if d.resp != nil {
+			d.resp <- serve.ErrResp("cluster: shard %d is down", sh.id)
+		}
+	}
+	sh.core.Load().Close()
+	sh.wmMu.Lock()
+	sh.down = true
+	sh.wmCond.Broadcast()
+	sh.wmMu.Unlock()
+}
+
+// restart installs a fresh core and replays the log backlog through a
+// new pump. Callers hold c.mu, so the backlog snapshot and the inbox
+// swap are atomic with respect to new appends.
+func (sh *shard) restart(core *serve.Core, backlog []delivery) {
+	sh.core.Store(core)
+	sh.wmMu.Lock()
+	sh.down = false
+	sh.wm = 0
+	sh.wmMu.Unlock()
+	sh.qmu.Lock()
+	sh.q = backlog
+	sh.stop = false
+	sh.qmu.Unlock()
+	sh.pumpDone = make(chan struct{})
+	go sh.pump()
+}

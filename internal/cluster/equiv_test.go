@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/fact"
+	"repro/internal/incr"
+	"repro/internal/serve"
+)
+
+// TestPartitionedEquivalence is the cross-shard equivalence battery
+// for partitioned mode: a seeded driver submits random edge toggles
+// over a small shared node pool — components merge and migrate
+// constantly — through several router connections, mirroring every
+// committed delta into a single-node oracle in submission order
+// (writes are driven from one goroutine, so submission order IS
+// global log order). At quiesced cuts the gathered reads must be
+// byte-identical to the oracle's pure read function, and the shard
+// slices must be disjoint: per Theorem 5.3 the answer of a connected
+// monotone program on I is the disjoint union of its answers on the
+// co(I) components, so fact counts must sum with no overlap.
+func TestPartitionedEquivalence(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		for _, seed := range []int64{1, 2, 3} {
+			shards, seed := shards, seed
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				runPartitionedEquivalence(t, shards, seed)
+			})
+		}
+	}
+}
+
+func runPartitionedEquivalence(t *testing.T, shards int, seed int64) {
+	const (
+		conns  = 3
+		rounds = 3
+		writes = 30
+		nodes  = 10
+	)
+	c := newTestCluster(t, tcProgram, "", Options{Shards: shards, Placement: PlaceComponent})
+	if !c.Plan().Partitioned {
+		t.Fatal("component placement over tc must partition")
+	}
+	r := NewRouter(c)
+	cns := make([]*conn, conns)
+	for i := range cns {
+		cns[i] = r.newConn()
+	}
+
+	oracle, err := incr.New(datalog.MustParseProgram(tcProgram), fact.NewInstance(), incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	present := make(map[[2]int]bool)
+	for round := 0; round < rounds; round++ {
+		for w := 0; w < writes; w++ {
+			e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+			op := "insert"
+			if present[e] {
+				op = "retract"
+			}
+			present[e] = !present[e]
+			f := fmt.Sprintf("E(p%d,p%d)", e[0], e[1])
+			resp := cns[rng.Intn(conns)].handle(serve.Request{Op: op, Facts: []string{f}})
+			if !resp.OK {
+				t.Fatalf("round %d write %d (%s %s) failed: %s", round, w, op, f, resp.Err)
+			}
+			var d incr.Delta
+			fs := []fact.Fact{fact.MustParseFact(f)}
+			if op == "insert" {
+				d.Insert = fs
+			} else {
+				d.Retract = fs
+			}
+			if _, err := oracle.Apply(d); err != nil {
+				t.Fatalf("oracle apply: %v", err)
+			}
+		}
+		c.Quiesce()
+		compareCut(t, c, r, oracle, round)
+	}
+}
+
+// compareCut byte-compares the gathered reads at a quiesced cut
+// against the oracle and checks the Theorem 5.3 disjointness of the
+// shard slices.
+func compareCut(t *testing.T, c *Cluster, r *Router, oracle *incr.Materialization, round int) {
+	t.Helper()
+	ep := oracle.Epoch()
+	cn := r.newConn()
+	for _, req := range []serve.Request{
+		{Op: "query", Rel: "T"},
+		{Op: "query", Rel: "E"},
+		{Op: "facts"},
+	} {
+		got, err := cn.handle(req).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(serve.ReadResponse(ep, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("round %d %s %s diverges from oracle:\ncluster: %s\noracle:  %s",
+				round, req.Op, req.Rel, got, want)
+		}
+	}
+	stats := cn.handle(serve.Request{Op: "stats"})
+	if stats.Stats == nil || stats.Stats.Facts != ep.Len() || stats.Stats.Base != ep.BaseLen() ||
+		stats.Stats.Derived != ep.Len()-ep.BaseLen() {
+		t.Fatalf("round %d gathered stats %+v != oracle (facts %d, base %d)", round, stats.Stats, ep.Len(), ep.BaseLen())
+	}
+	if stats.Stats.Seq != c.LogLen() {
+		t.Fatalf("round %d quiesced stats seq %d != log tip %d", round, stats.Stats.Seq, c.LogLen())
+	}
+	// Disjointness: per-shard sizes sum exactly to the oracle sizes.
+	// Any double-homed base fact or cross-shard duplicate derivation
+	// would make these sums exceed the oracle.
+	sumBase, sumAll := 0, 0
+	for j := 0; j < c.ShardCount(); j++ {
+		sep := c.ShardCore(j).CurrentEpoch()
+		sumBase += sep.BaseLen()
+		sumAll += sep.Len()
+	}
+	if sumBase != ep.BaseLen() || sumAll != ep.Len() {
+		t.Fatalf("round %d shard slices not disjoint: Σbase=%d (oracle %d), Σfacts=%d (oracle %d)",
+			round, sumBase, ep.BaseLen(), sumAll, ep.Len())
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"repro/internal/datalog"
+)
+
+// Coordination is the read-side coordination level a plan prescribes.
+type Coordination string
+
+const (
+	// CoordFree: reads fence only on the connection's own writes (the
+	// epoch vector). Sound exactly for the monotone fragment — an
+	// early read of a monotone query is a subset of a late read, so
+	// waiting buys nothing but latency (the CALM direction).
+	CoordFree Coordination = "coordination-free"
+	// CoordFenced: every read first waits for its shards to catch up
+	// to the global log tip observed at arrival. Required once
+	// stratified negation makes answers non-monotone: a stale prefix
+	// can assert facts the full prefix retracts.
+	CoordFenced Coordination = "fenced"
+)
+
+// Plan is the execution plan the fragment classifier selects: how
+// deltas move between shards and how much coordination reads pay.
+type Plan struct {
+	// Fragment is the program's classified Datalog fragment.
+	Fragment datalog.Fragment
+	// Coordination is the read-side coordination level.
+	Coordination Coordination
+	// Partitioned reports the data layout: true means co(I) components
+	// are partitioned across shards and reads scatter/gather
+	// (Theorem 5.3); false means every shard replicates the full base
+	// in global log order and reads route to one shard.
+	Partitioned bool
+	// Reason is a one-line human explanation of the choice.
+	Reason string
+}
+
+// monotoneFragment reports whether the fragment is syntactically
+// inside the paper's class M: positive programs (with or without
+// inequalities) are monotone, Proposition 3.1. SP-Datalog sits in
+// Mdistinct only — coordination-free just for domain-distinct deltas,
+// a promise the general write stream cannot keep — so it is fenced
+// here along with the rest of Datalog¬.
+func monotoneFragment(f datalog.Fragment) bool {
+	return f == datalog.FragDatalog || f == datalog.FragDatalogNeq
+}
+
+// PlanFor selects the weakest-coordination plan for the program under
+// the requested placement. Component placement partitions only when
+// it is sound: a monotone program whose rules are all connected keeps
+// every derivation inside one co(I) component, so per-shard evaluation
+// loses nothing (Lemma 3.2 / Theorem 5.3). Otherwise the plan falls
+// back to replicated mode and says why.
+func PlanFor(p *datalog.Program, place PlacementKind) Plan {
+	frag := p.Classify()
+	plan := Plan{Fragment: frag, Coordination: CoordFenced}
+	if monotoneFragment(frag) {
+		plan.Coordination = CoordFree
+		plan.Reason = "monotone fragment " + string(frag) + ": reads fence only on own writes"
+	} else {
+		plan.Reason = "fragment " + string(frag) + " is not monotone: reads fence on the log tip"
+	}
+	if place == PlaceComponent {
+		switch {
+		case !monotoneFragment(frag):
+			plan.Reason += "; component placement demoted to replication (negation needs the full base)"
+		case !p.AllRulesConnected():
+			plan.Reason += "; component placement demoted to replication (disconnected rules join across components)"
+		default:
+			plan.Partitioned = true
+			plan.Reason += "; co(I) components partitioned, gathered reads are a disjoint union (Thm 5.3)"
+		}
+	}
+	return plan
+}

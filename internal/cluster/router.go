@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/serve"
+)
+
+// Router speaks the single-node NDJSON protocol over a Cluster: the
+// same request lines, the same response shapes, so every existing
+// client (calmload, scripts, humans with netcat) works against a
+// sharded deployment unchanged. It implements serve.Handler, so
+// serve.NewTCPServerFor gives it the same TCP front end as a Core.
+//
+// Each connection gets an affinity shard (round-robin at accept) and
+// an own-write fence: the global log position of its last write.
+// Under a coordination-free plan a read waits only for that fence —
+// read-your-writes, nothing more, the weakest sequencing that is
+// still sane to program against and exactly what monotone queries
+// need (anything later is a superset). Under a fenced plan a read
+// waits for its shards to reach the log tip observed at arrival.
+//
+// Requests are handled synchronously per connection (responses are
+// trivially in request order); concurrency comes from connections,
+// and inside the cluster from the asynchronous shard pumps.
+type Router struct {
+	c    *Cluster
+	next atomic.Int64
+}
+
+// NewRouter wraps a cluster in the NDJSON protocol.
+func NewRouter(c *Cluster) *Router { return &Router{c: c} }
+
+// Cluster returns the routed cluster.
+func (r *Router) Cluster() *Cluster { return r.c }
+
+// conn is one connection's routing state.
+type conn struct {
+	r        *Router
+	affinity int
+	lastG    int // global log position of this connection's last write
+}
+
+func (r *Router) newConn() *conn {
+	n := len(r.c.shards)
+	return &conn{r: r, affinity: int(r.next.Add(1)-1) % n}
+}
+
+// handle routes one decoded request.
+func (cn *conn) handle(req serve.Request) serve.Response {
+	c := cn.r.c
+	switch {
+	case req.Op == "cluster":
+		c.reads.Inc()
+		aff := cn.affinity
+		if c.plan.Partitioned {
+			aff = -1
+		}
+		return serve.Response{OK: true, Cluster: &serve.ClusterBody{
+			Shards:     len(c.shards),
+			Placement:  string(c.place),
+			Plan:       string(c.plan.Coordination),
+			Fragment:   string(c.plan.Fragment),
+			Log:        c.LogLen(),
+			Watermarks: c.Watermarks(),
+			Affinity:   aff,
+		}}
+	case serve.IsWrite(req.Op):
+		resp, g := c.SubmitWrite(req)
+		if g > 0 {
+			cn.lastG = g
+		}
+		return resp
+	case serve.IsRead(req.Op):
+		fence := cn.lastG
+		if c.plan.Coordination == CoordFenced {
+			fence = c.LogLen()
+		}
+		return c.Read(cn.affinity, req, fence)
+	}
+	c.errors.Inc()
+	return serve.ErrResp("unknown op %q", req.Op)
+}
+
+// handleLine decodes and routes one request line.
+func (cn *conn) handleLine(line []byte) serve.Response {
+	var req serve.Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		cn.r.c.errors.Inc()
+		return serve.ErrResp("bad request: %v", err)
+	}
+	return cn.handle(req)
+}
+
+// Serve runs the request loop until EOF — the cluster twin of
+// Core.Serve, with the same framing and error behavior: malformed
+// JSON answers an error response and continues; a scanner failure
+// sends one final error response and propagates.
+func (r *Router) Serve(rd io.Reader, w io.Writer) error {
+	const maxLine = 16 * 1024 * 1024
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	bw := bufio.NewWriter(w)
+	cn := r.newConn()
+
+	writeResp := func(resp serve.Response) error {
+		b, err := resp.Encode()
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := writeResp(cn.handleLine(line)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeResp(serve.ErrResp("read: %v", err)) // best effort; stream may be gone
+		return fmt.Errorf("read: %w", err)
+	}
+	return bw.Flush()
+}
+
+var _ serve.Handler = (*Router)(nil)

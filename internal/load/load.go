@@ -31,13 +31,26 @@ var okPrefix = []byte(`{"ok":true`)
 // Config parameterizes one load run. Zero fields take the defaults
 // noted below.
 type Config struct {
-	Addr     string        // calmd TCP address (required)
-	Conns    int           // concurrent connections (default 4)
+	Addr string // calmd TCP address (required unless Addrs is set)
+	// Addrs, when non-empty, is a set of endpoints: connection i dials
+	// Addrs[i % len(Addrs)]. With per-shard endpoints of a sharded
+	// deployment this is placement-aware ("tenant-routed") load: each
+	// connection's private write namespace stays on one shard. A
+	// single-element Addrs is byte-identical in behavior to Addr.
+	Addrs    []string
+	Conns    int // concurrent connections (default 4)
 	Window   int           // max in-flight requests per connection; 1 = serial ping-pong (default 32)
 	Duration time.Duration // send window per connection (default 2s)
 	Seed     int64         // base RNG seed; conn i derives Seed + i*7919
 	ReadFrac float64       // fraction of requests that are reads (default 0.9)
 	Nodes    int           // churn nodes per connection's write namespace (default 4)
+}
+
+func (c Config) addrs() []string {
+	if len(c.Addrs) > 0 {
+		return c.Addrs
+	}
+	return []string{c.Addr}
 }
 
 func (c Config) conns() int {
@@ -117,8 +130,8 @@ type connStats struct {
 // Run drives the configured workload and blocks until every
 // connection has drained its in-flight responses.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Addr == "" {
-		return nil, errors.New("load: Config.Addr is required")
+	if cfg.Addr == "" && len(cfg.Addrs) == 0 {
+		return nil, errors.New("load: Config.Addr (or Addrs) is required")
 	}
 	n := cfg.conns()
 	stats := make([]*connStats, n)
@@ -195,7 +208,8 @@ func Compare(cfg Config) (*Comparison, error) {
 // ordering guarantee: a FIFO of send timestamps matches responses as
 // they arrive.
 func runConn(cfg Config, id int, deadline time.Time) (*connStats, error) {
-	conn, err := net.Dial("tcp", cfg.Addr)
+	addrs := cfg.addrs()
+	conn, err := net.Dial("tcp", addrs[id%len(addrs)])
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -68,6 +69,103 @@ func TestGenDeterministicPerSeed(t *testing.T) {
 		rb, _ := b.next()
 		if string(ra) != string(rb) {
 			t.Fatalf("request %d diverged for identical seeds: %s vs %s", i, ra, rb)
+		}
+	}
+}
+
+// TestMultiAddrAgainstCluster drives the placement-aware client path:
+// an in-process sharded cluster's per-shard endpoints as a
+// comma-separated target set, connection i dialing endpoint i mod N.
+func TestMultiAddrAgainstCluster(t *testing.T) {
+	eps, shutdown, err := StartCluster(8, 2, cluster.PlaceComponent, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if len(eps.Shards) != 2 || eps.Router == "" || eps.Cluster == nil {
+		t.Fatalf("cluster endpoints incomplete: %+v", eps)
+	}
+
+	res, err := Run(Config{
+		Addrs:    eps.Shards,
+		Conns:    4,
+		Window:   8,
+		Duration: 150 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Fatalf("tenant-routed run: ops=%d errors=%d", res.Ops, res.Errors)
+	}
+
+	// The router endpoint serves the same protocol.
+	rres, err := Run(Config{
+		Addrs:    []string{eps.Router},
+		Conns:    2,
+		Window:   4,
+		Duration: 100 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Ops == 0 || rres.Errors != 0 {
+		t.Fatalf("router run: ops=%d errors=%d", rres.Ops, rres.Errors)
+	}
+}
+
+// TestSingleElementAddrsMatchesAddr pins the satellite contract: a
+// one-element Addrs list behaves exactly like the scalar Addr field —
+// same generator streams, same dialing, so results differ only by
+// timing noise.
+func TestSingleElementAddrsMatchesAddr(t *testing.T) {
+	addr, shutdown, err := StartSelf(8, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	for _, cfg := range []Config{
+		{Addr: addr, Conns: 2, Window: 4, Duration: 80 * time.Millisecond, Seed: 3},
+		{Addrs: []string{addr}, Conns: 2, Window: 4, Duration: 80 * time.Millisecond, Seed: 3},
+	} {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops == 0 || res.Errors != 0 {
+			t.Fatalf("run %+v: ops=%d errors=%d", cfg.Addrs, res.Ops, res.Errors)
+		}
+	}
+	if got := (Config{Addrs: []string{"x"}}).addrs()[0]; got != "x" {
+		t.Fatalf("addrs() precedence broken: %q", got)
+	}
+	if got := (Config{Addr: "y"}).addrs()[0]; got != "y" {
+		t.Fatalf("addrs() fallback broken: %q", got)
+	}
+}
+
+// TestClusterChainInstancePlacement checks the shard-sweep workload
+// generator: segments are disjoint components, the total edge budget
+// is conserved, and component placement homes segment s on shard s.
+func TestClusterChainInstancePlacement(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		inst, err := ClusterChainInstance(16, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if inst.Len() < 16-shards || inst.Len() > 16 {
+			t.Fatalf("shards=%d: %d edges, want ~16", shards, inst.Len())
+		}
+		placed := cluster.PlaceInstance(inst, shards)
+		used := make(map[int]int)
+		for _, s := range placed {
+			used[s]++
+		}
+		if len(used) != shards {
+			t.Fatalf("shards=%d: segments cover only %d shards: %v", shards, len(used), used)
 		}
 	}
 }

@@ -105,6 +105,37 @@ const (
 	SrvWriteNs = "srv.write_ns"
 )
 
+// Cluster metrics (internal/cluster): the sharded coordination-free
+// serving layer. All counters live on the router/cluster side; the
+// per-shard serving cores keep reporting under srv.* through their own
+// registries.
+const (
+	// ClusterWrites / ClusterReads count client ops routed by the
+	// router (after decode, before placement).
+	ClusterWrites = "cluster.writes"
+	ClusterReads  = "cluster.reads"
+	// ClusterErrors counts error responses the router produced itself
+	// (validation, unknown op, shard down) — shard-side errors are
+	// counted by the shard's srv.errors.
+	ClusterErrors = "cluster.errors"
+	// ClusterDeliveries counts log-entry deliveries applied by shard
+	// pumps (replicated mode: one per shard per write).
+	ClusterDeliveries = "cluster.deliveries"
+	// ClusterMigrations counts component migrations (a write bridged
+	// co(I) components resident on different shards, and the absorbed
+	// component moved to the winner).
+	ClusterMigrations = "cluster.migrations"
+	// ClusterFenceWaits counts reads that actually blocked on an
+	// epoch-vector fence (read-your-writes or fenced-gather).
+	ClusterFenceWaits = "cluster.fence_waits"
+	// ClusterGathers counts scatter/gather reads (partitioned mode).
+	ClusterGathers = "cluster.gathers"
+	// ClusterCrashes / ClusterRecoveries count shard crash-restarts
+	// and completed log-replay recoveries.
+	ClusterCrashes    = "cluster.crashes"
+	ClusterRecoveries = "cluster.recoveries"
+)
+
 // ILOG¬ evaluator metrics (internal/ilog).
 const (
 	IlogRounds = "ilog.rounds"

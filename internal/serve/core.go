@@ -445,3 +445,14 @@ func (c *Core) HandleLine(line []byte) Response {
 	c.decodeAndDispatch(line, ch, nil)
 	return <-ch
 }
+
+// Do dispatches one already-decoded request and waits for the
+// response — the typed twin of HandleLine. A write returns only after
+// the epoch containing it is published, so a caller that sequences
+// Do(write) before Do(read) always reads its own write. The cluster
+// layer's delta pumps and gather paths are built on this entry point.
+func (c *Core) Do(req Request) Response {
+	ch := make(chan Response, 1)
+	c.dispatch(req, ch, nil)
+	return <-ch
+}

@@ -45,6 +45,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/fact"
@@ -71,6 +72,27 @@ type ApplyBody struct {
 	Retracted int `json:"retracted"`
 	Added     int `json:"added"`
 	Removed   int `json:"removed"`
+}
+
+// ClusterBody is the "cluster" op response payload: topology and
+// progress of a sharded deployment, served by the cluster router.
+type ClusterBody struct {
+	// Shards is the configured shard count.
+	Shards int `json:"shards"`
+	// Placement names the placement strategy ("hash" or "component").
+	Placement string `json:"placement"`
+	// Plan names the coordination plan the fragment classifier chose
+	// ("coordination-free" or "fenced").
+	Plan string `json:"plan"`
+	// Fragment is the program's classified Datalog fragment.
+	Fragment string `json:"fragment"`
+	// Log is the length of the global delta log.
+	Log int `json:"log"`
+	// Watermarks[j] is the global log prefix shard j has applied.
+	Watermarks []int `json:"watermarks"`
+	// Affinity is the shard this connection's reads route to in
+	// replicated mode (-1 when reads gather from all shards).
+	Affinity int `json:"affinity"`
 }
 
 // StatsBody is the stats op response payload, read from one epoch.
@@ -100,6 +122,10 @@ type Response struct {
 	// Epoch echoes the serving epoch's sequence number when the
 	// request asked for it ("epoch":true).
 	Epoch *int `json:"epoch,omitempty"`
+	// Cluster is the "cluster" op payload (sharded deployments only;
+	// single-node daemons never set it, keeping their wire lines
+	// byte-identical to previous releases).
+	Cluster *ClusterBody `json:"cluster,omitempty"`
 
 	// raw, when non-nil, is this response's already-encoded wire line
 	// (no trailing newline). The session loop writes it verbatim
@@ -109,6 +135,30 @@ type Response struct {
 	// that carries raw reproduces exactly raw.
 	raw []byte
 }
+
+// Encode returns the response's wire line (no trailing newline):
+// the memoized raw bytes when present, a fresh json.Marshal otherwise.
+// Session loops outside this package (the cluster router) use it so a
+// memoized read costs zero marshals end to end.
+func (r Response) Encode() ([]byte, error) {
+	if r.raw != nil {
+		return r.raw, nil
+	}
+	return json.Marshal(r)
+}
+
+// ErrResp builds a protocol error response. Exported for the cluster
+// router, which speaks the same wire format.
+func ErrResp(format string, args ...any) Response {
+	return errResp(format, args...)
+}
+
+// IsRead reports whether the op is a read in the protocol's sense
+// (answered from a pinned epoch, never entering a write queue).
+func IsRead(op string) bool { return isReadOp(op) }
+
+// IsWrite reports whether the op is serialized through a writer.
+func IsWrite(op string) bool { return isWriteOp(op) }
 
 func errResp(format string, args ...any) Response {
 	return Response{Err: fmt.Sprintf(format, args...)}
@@ -159,6 +209,14 @@ func epochFacts(ep *incr.Epoch) factsFor {
 // concurrent server produced.
 func readResponse(ep *incr.Epoch, req Request) Response {
 	return readResponseWith(ep, req, epochFacts(ep))
+}
+
+// ReadResponse exposes the pure read function for oracle replays
+// outside this package: the cluster equivalence battery replays
+// committed deltas single-threaded and byte-compares every routed
+// read against this function of the oracle's epoch.
+func ReadResponse(ep *incr.Epoch, req Request) Response {
+	return readResponse(ep, req)
 }
 
 // readResponseWith is readResponse with an explicit fact-string

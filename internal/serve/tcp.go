@@ -7,13 +7,23 @@ import (
 	"sync"
 )
 
+// Handler is one protocol endpoint: anything that can run a session
+// over a byte stream. Core implements it (single-node serving); the
+// cluster router implements it too, so the same TCP front end serves
+// both deployments.
+type Handler interface {
+	Serve(r io.Reader, w io.Writer) error
+}
+
 // TCPServer accepts connections and runs one pipelined session per
-// connection over a shared Core. Connections are independent: each
+// connection over a shared Handler. Connections are independent: each
 // gets its own ordering buffer and backpressure window; all share the
-// core's write queue and read epochs.
+// handler's write queue and read epochs.
 type TCPServer struct {
+	h  Handler
+	ln net.Listener
+	// core, when the handler is a Core, receives connection metrics.
 	core *Core
-	ln   net.Listener
 	// errLog receives per-connection serve errors (nil = discard).
 	errLog io.Writer
 
@@ -27,11 +37,22 @@ type TCPServer struct {
 // server ready to Serve. errLog, when non-nil, receives one line per
 // connection that ended with an error.
 func NewTCPServer(core *Core, addr string, errLog io.Writer) (*TCPServer, error) {
+	s, err := NewTCPServerFor(core, addr, errLog)
+	if err != nil {
+		return nil, err
+	}
+	s.core = core
+	return s, nil
+}
+
+// NewTCPServerFor is NewTCPServer for any Handler (e.g. the cluster
+// router).
+func NewTCPServerFor(h Handler, addr string, errLog io.Writer) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &TCPServer{core: core, ln: ln, errLog: errLog, active: make(map[net.Conn]bool)}, nil
+	return &TCPServer{h: h, ln: ln, errLog: errLog, active: make(map[net.Conn]bool)}, nil
 }
 
 // Addr returns the bound listen address.
@@ -52,13 +73,15 @@ func (s *TCPServer) Serve() error {
 			conn.Close()
 			return nil
 		}
-		s.core.conns.Inc()
+		if s.core != nil {
+			s.core.conns.Inc()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
-			if err := s.core.Serve(conn, conn); err != nil && !s.isClosed() && s.errLog != nil {
+			if err := s.h.Serve(conn, conn); err != nil && !s.isClosed() && s.errLog != nil {
 				fmt.Fprintf(s.errLog, "serve: connection: %v\n", err)
 			}
 		}()

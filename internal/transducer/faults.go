@@ -125,6 +125,23 @@ func (p *FaultPlan) holdFor(clock int, from, to NodeID, f fact.Fact) int {
 	return d
 }
 
+// ExtraCopies and HoldFor expose the per-message fault decisions to
+// delivery layers outside the simulator. The cluster delta stream
+// (internal/cluster) reuses fault plans as its network model: there
+// the clock is the global log position, the sender is the router and
+// the recipient a shard. Both remain pure functions of (Seed, clock,
+// endpoints, fact), so faulty cluster runs replay exactly like faulty
+// simulator runs.
+func (p *FaultPlan) ExtraCopies(clock int, from, to NodeID, f fact.Fact) int {
+	return p.extraCopies(clock, from, to, f)
+}
+
+// HoldFor is the exported form of holdFor: how many clock ticks the
+// message is held back (0 = deliver now).
+func (p *FaultPlan) HoldFor(clock int, from, to NodeID, f fact.Fact) int {
+	return p.holdFor(clock, from, to, f)
+}
+
 // StalledAt reports whether node x is inside a stall window at the
 // given clock value.
 func (p *FaultPlan) StalledAt(x NodeID, clock int) bool {

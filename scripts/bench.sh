@@ -7,9 +7,11 @@
 # that produced them (BENCH_PR<n>.json); BENCH_PR7.json is the
 # concurrent-serving snapshot, whose CalmloadSerial/CalmloadPipelined
 # rows carry the pipelined-vs-serial speedup gate (EXPERIMENTS.md
-# PERF.7):
+# PERF.7), and BENCH_PR8.json is the sharded-cluster snapshot, whose
+# CalmloadShards<n> rows carry the shard-scaling gate (EXPERIMENTS.md
+# PERF.8):
 #
-#	scripts/bench.sh BENCH_PR7.json
+#	scripts/bench.sh BENCH_PR8.json
 #
 # Usage: scripts/bench.sh [out.json]   (default: stdout)
 # Env:   BENCHTIME          per-benchmark time or count (default 0.5s)
@@ -37,6 +39,24 @@ go test -run '^$' -bench 'BenchmarkPinnedReads|BenchmarkColdReads|BenchmarkWrite
 # Pipelined ops/s >= 2x serial ops/s is the PR-7 acceptance gate.
 calmload_duration="${CALMLOAD_DURATION:-1500ms}"
 go run ./cmd/calmload -compare -format gobench \
+    -duration "$calmload_duration" -read-frac 0.98 -conns 4 -window 32 >>"$tmp"
+
+# Shard-scaling rows (EXPERIMENTS.md PERF.8): the same read-heavy
+# monotone mix against an in-process cluster of N=1,2,4 shards, a
+# 128-edge chain workload split into N disjoint co(I) components so
+# each shard serves a 1/N segment whose closure is ~1/N^2 the size
+# (Theorem 5.3 locality — the chain is long enough that query-T
+# rendering dominates per-op cost). Clients drive the per-shard
+# endpoints directly — coordination-free, no gather — plus one N=4
+# row through the scatter/gather router for contrast.
+# Shards4 ops/s >= 2.5x Shards1 ops/s is the PR-8 acceptance gate.
+for n in 1 2 4; do
+    go run ./cmd/calmload -self-shards "$n" -self-chain 128 -format gobench \
+        -bench-name "BenchmarkCalmloadShards$n" \
+        -duration "$calmload_duration" -read-frac 0.98 -conns 4 -window 32 >>"$tmp"
+done
+go run ./cmd/calmload -self-shards 4 -self-chain 128 -via-router -format gobench \
+    -bench-name BenchmarkCalmloadShards4Router \
     -duration "$calmload_duration" -read-frac 0.98 -conns 4 -window 32 >>"$tmp"
 
 render() {

@@ -2,11 +2,12 @@
 # check.sh runs the full local gate: vet, build, and the test suite
 # under the race detector (the parallel fixpoint engine, the epoch-
 # pinned serving core, and the simulation determinism tests are the
-# main race-sensitive surfaces). The fault-injection, explorer, and
-# serving packages additionally run twice under -race (-count=2
-# defeats the test cache and catches order-dependent state),
+# main race-sensitive surfaces). The fault-injection, explorer,
+# serving, and cluster packages additionally run twice under -race
+# (-count=2 defeats the test cache and catches order-dependent state),
 # internal/transducer coverage is gated at its pre-fault-layer
-# baseline (84.0%), internal/obs and internal/serve at 80.0%, and the
+# baseline (84.0%), internal/obs, internal/serve, and
+# internal/cluster at 80.0%, and the
 # instrumentation's disabled (nil) fast path is benchmarked against a
 # bare workload so "tracing off" stays ~free.
 # Usage: scripts/check.sh  (or: make check)
@@ -23,8 +24,8 @@ go build ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
-echo ">> go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/..."
-go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/...
+echo ">> go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/... ./internal/cluster/..."
+go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/... ./internal/cluster/...
 
 coverage_gate() {
     pkg="$1"
@@ -45,6 +46,7 @@ coverage_gate() {
 coverage_gate ./internal/transducer/ 84.0
 coverage_gate ./internal/obs/ 80.0
 coverage_gate ./internal/serve/ 80.0
+coverage_gate ./internal/cluster/ 80.0
 
 # Disabled-instrumentation overhead gate: the nil-receiver/nil-sink
 # fast path must stay within noise of the bare workload. "disabled"
