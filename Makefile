@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick check smoke ci cover
+.PHONY: build test race vet bench bench-quick check smoke admin-smoke trace-demo ci cover
 
 cover:
 	$(GO) test -cover ./internal/transducer/ ./internal/core/
@@ -42,7 +42,20 @@ check:
 smoke:
 	$(GO) run ./cmd/calmload -smoke -compare -duration 500ms -read-frac 0.98
 
+# admin-smoke boots a sharded calmd with -admin, drives traffic, and
+# asserts /metrics exposes every srv_*/cluster_*/coord_* family,
+# /healthz reports per-shard watermarks and epoch age, and /trace
+# returns spans (scripts/admin_smoke.sh).
+admin-smoke:
+	sh scripts/admin_smoke.sh
+
+# trace-demo is a quick tour of the tracing plane: boot a sharded
+# daemon, push a write/read mix, print the span stream, live health,
+# and the coordination budget (scripts/trace_demo.sh).
+trace-demo:
+	sh scripts/trace_demo.sh
+
 # ci is the entry point GitHub Actions runs (.github/workflows/ci.yml);
 # it is deliberately the same gate as `make check` plus the calmload
-# smoke stage.
-ci: check smoke
+# and admin-endpoint smoke stages.
+ci: check smoke admin-smoke

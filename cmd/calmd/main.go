@@ -37,10 +37,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"time"
 
+	"repro/internal/admin"
 	"repro/internal/cluster"
 	"repro/internal/datalog"
 	"repro/internal/fact"
@@ -65,14 +65,22 @@ func main() {
 		snapshotDir = flag.String("snapshot-dir", "", "confine snapshot ops to bare file names inside this directory")
 		metricsPath = flag.String("metrics", "", `write incr.*/srv.* engine metrics as JSON to this file on exit ("-" = stdout)`)
 		tracePath   = flag.String("trace", "", `write structured JSONL maintenance events to this file ("-" = stdout)`)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		adminAddr   = flag.String("admin", "", "serve the admin endpoint (/metrics /healthz /trace /debug/pprof) on this address (e.g. localhost:6060)")
+		traceSpans  = flag.Int("trace-spans", 4096, "span ring capacity for -admin request tracing (0 = tracing off)")
+		pprofAddr   = flag.String("pprof", "", "deprecated alias for -admin")
 	)
 	flag.Parse()
-	startPprof(*pprofAddr)
+	if *adminAddr == "" {
+		*adminAddr = *pprofAddr
+	}
 
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *adminAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *adminAddr != "" && *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans, false)
 	}
 	sink, closeSink := openTrace(*tracePath)
 
@@ -84,13 +92,13 @@ func main() {
 
 	if *shardCount > 0 {
 		err := runCluster(*shardCount, *placement, *programPath, *inputPath, *restorePath,
-			*listenAddr, opts, serve.Options{
+			*listenAddr, *adminAddr, opts, serve.Options{
 				WriteQueue:  *writeQueue,
 				MaxBatch:    *maxBatch,
 				Pipeline:    *pipeline,
 				SnapshotDir: *snapshotDir,
 				Reg:         reg,
-			}, reg)
+			}, reg, tracer)
 		closeSink()
 		writeMetrics(reg, *metricsPath)
 		if err != nil {
@@ -111,7 +119,27 @@ func main() {
 		Pipeline:    *pipeline,
 		SnapshotDir: *snapshotDir,
 		Reg:         reg,
+		Tracer:      tracer,
 	})
+	if *adminAddr != "" {
+		adm, err := admin.Start(*adminAddr, admin.Options{
+			Reg:          reg,
+			Tracer:       tracer,
+			BeforeScrape: epochAgeHook(reg),
+			Health: func() (bool, any) {
+				age := epochAge(reg)
+				return true, map[string]any{
+					"ok": true, "mode": "single", "seq": core.Seq(),
+					"epoch_age_ns": age,
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer adm.Close()
+		fmt.Fprintf(os.Stderr, "calmd: admin on http://%s\n", adm.Addr())
+	}
 	if *listenAddr == "" {
 		err := core.Serve(os.Stdin, os.Stdout)
 		core.Close()
@@ -136,8 +164,8 @@ func main() {
 
 // runCluster boots the sharded deployment: a cluster of shard cores
 // behind a router serving the same protocol on stdio or TCP.
-func runCluster(shards int, placement, programPath, inputPath, restorePath, listenAddr string,
-	incrOpts incr.Options, serveOpts serve.Options, reg *obs.Registry) error {
+func runCluster(shards int, placement, programPath, inputPath, restorePath, listenAddr, adminAddr string,
+	incrOpts incr.Options, serveOpts serve.Options, reg *obs.Registry, tracer *obs.Tracer) error {
 	if restorePath != "" {
 		return fmt.Errorf("-restore is not supported with -shards (snapshots are per-shard; restore each shard endpoint directly)")
 	}
@@ -158,6 +186,7 @@ func runCluster(shards int, placement, programPath, inputPath, restorePath, list
 		Incr:      incrOpts,
 		Serve:     serveOpts,
 		Reg:       reg,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -166,6 +195,37 @@ func runCluster(shards int, placement, programPath, inputPath, restorePath, list
 	plan := c.Plan()
 	fmt.Fprintf(os.Stderr, "calmd: %d shards, %s placement, %s plan (%s)\n",
 		shards, place, plan.Coordination, plan.Reason)
+
+	if adminAddr != "" {
+		ageHook := epochAgeHook(reg)
+		adm, err := admin.Start(adminAddr, admin.Options{
+			Reg:    reg,
+			Tracer: tracer,
+			BeforeScrape: func() {
+				ageHook()
+				c.PublishHealth()
+			},
+			Health: func() (bool, any) {
+				logLen, hs := c.Health()
+				ok := true
+				for _, h := range hs {
+					if h.Down {
+						ok = false
+					}
+				}
+				return ok, map[string]any{
+					"ok": ok, "mode": "cluster", "shards": len(hs), "log": logLen,
+					"plan": string(plan.Coordination), "health": hs,
+					"epoch_age_ns": epochAge(reg),
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(os.Stderr, "calmd: admin on http://%s\n", adm.Addr())
+	}
 
 	router := cluster.NewRouter(c)
 	if listenAddr == "" {
@@ -279,16 +339,23 @@ func writeMetrics(reg *obs.Registry, path string) {
 	}
 }
 
-// startPprof serves the net/http/pprof handlers in the background.
-func startPprof(addr string) {
-	if addr == "" {
-		return
+// epochAge returns wall-clock nanoseconds since the last epoch
+// publication, or 0 before the first commit.
+func epochAge(reg *obs.Registry) int64 {
+	last := reg.Gauge(obs.SrvLastCommitUnixNs).Value()
+	if last == 0 {
+		return 0
 	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "calmd: pprof: %v\n", err)
-		}
-	}()
+	return time.Now().UnixNano() - last
+}
+
+// epochAgeHook refreshes the srv.epoch_age_ns scrape-time gauge —
+// run by the admin server before each /metrics and /healthz render,
+// so the serving hot path never touches the clock for it.
+func epochAgeHook(reg *obs.Registry) func() {
+	return func() {
+		reg.Gauge(obs.SrvEpochAgeNs).Set(epochAge(reg))
+	}
 }
 
 func fatal(err error) {

@@ -20,10 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
+	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/fact"
 	"repro/internal/generate"
@@ -48,10 +47,9 @@ func main() {
 		explore   = flag.Int("explore", 0, "when > 0, exhaustively explore all schedules to this depth and check output safety")
 		tracePath = flag.String("trace", "", `write structured JSONL events (sim.* transitions/faults, explore.* schedules) to this file ("-" = stdout)`)
 		metrics   = flag.String("metrics", "", `write run metrics (sim.* / explore.* counters) as JSON to this file ("-" = stdout)`)
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr = flag.String("pprof", "", "serve the admin endpoint (/metrics /debug/pprof) on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	startPprof(*pprofAddr)
 
 	q, demo, err := lookupQuery(*queryName)
 	if err != nil {
@@ -123,9 +121,10 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metrics != "" {
+	if *metrics != "" || *pprofAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	startAdmin(*pprofAddr, reg)
 	sink, closeSink := openTrace(*tracePath)
 
 	cfg := core.RunConfig{Plan: plan, Sink: sink, Reg: reg}
@@ -257,18 +256,6 @@ func writeMetrics(reg *obs.Registry, path string) {
 	}
 }
 
-// startPprof serves the net/http/pprof handlers in the background.
-func startPprof(addr string) {
-	if addr == "" {
-		return
-	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "calmsim: pprof server: %v\n", err)
-		}
-	}()
-}
-
 func lookupQuery(name string) (monotone.Query, *fact.Instance, error) {
 	entry, err := queries.Lookup(name)
 	if err != nil {
@@ -320,4 +307,19 @@ func lookupPolicy(name string, net transducer.Network) (transducer.Policy, error
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "calmsim: %v\n", err)
 	os.Exit(1)
+}
+
+// startAdmin serves the shared admin endpoint (/metrics /debug/pprof)
+// in the background ("" = disabled) — the same routes calmd's -admin
+// exposes, so one curl recipe profiles every binary in the repo.
+func startAdmin(addr string, reg *obs.Registry) {
+	if addr == "" {
+		return
+	}
+	adm, err := admin.Start(addr, admin.Options{Reg: reg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calmsim: admin: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "calmsim: admin on http://%s\n", adm.Addr())
 }

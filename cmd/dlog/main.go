@@ -22,11 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 
+	"repro/internal/admin"
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/ilog"
@@ -47,10 +46,9 @@ func main() {
 		classify    = flag.Bool("classify", true, "print the fragment classification")
 		metricsPath = flag.String("metrics", "", `write engine metrics (dl.* / ilog.* counters) as JSON to this file ("-" = stdout)`)
 		tracePath   = flag.String("trace", "", `write structured JSONL evaluation events to this file ("-" = stdout)`)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve the admin endpoint (/metrics /debug/pprof) on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	startPprof(*pprofAddr)
 	if *programPath == "" {
 		fmt.Fprintln(os.Stderr, "dlog: -program is required")
 		flag.Usage()
@@ -75,9 +73,10 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *pprofAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	startAdmin(*pprofAddr, reg)
 	sink, closeSink := openTrace(*tracePath)
 
 	if *useIlog {
@@ -212,19 +211,22 @@ func writeMetrics(reg *obs.Registry, path string) {
 	}
 }
 
-// startPprof serves the net/http/pprof handlers in the background.
-func startPprof(addr string) {
-	if addr == "" {
-		return
-	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "dlog: pprof server: %v\n", err)
-		}
-	}()
-}
-
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dlog: %v\n", err)
 	os.Exit(1)
+}
+
+// startAdmin serves the shared admin endpoint (/metrics /debug/pprof)
+// in the background ("" = disabled) — the same routes calmd's -admin
+// exposes, so one curl recipe profiles every binary in the repo.
+func startAdmin(addr string, reg *obs.Registry) {
+	if addr == "" {
+		return
+	}
+	adm, err := admin.Start(addr, admin.Options{Reg: reg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlog: admin: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dlog: admin on http://%s\n", adm.Addr())
 }

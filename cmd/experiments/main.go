@@ -13,10 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
+	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/experiments"
@@ -63,9 +62,9 @@ type report struct {
 
 func main() {
 	metricsPath := flag.String("metrics", "", `write the machine-readable result matrix as JSON to this file ("-" = stdout)`)
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve the admin endpoint (/metrics /debug/pprof) on this address (e.g. localhost:6060)")
 	flag.Parse()
-	startPprof(*pprofAddr)
+	startAdmin(*pprofAddr)
 
 	exps := []experiment{}
 	exps = append(exps, figure1Experiments()...)
@@ -130,18 +129,6 @@ func writeReport(rep report, path string) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fatal(err)
 	}
-}
-
-// startPprof serves the net/http/pprof handlers in the background.
-func startPprof(addr string) {
-	if addr == "" {
-		return
-	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
-		}
-	}()
 }
 
 func fatal(err error) {
@@ -620,4 +607,19 @@ func faultExperiments() []experiment {
 			return fmt.Sprintf("%v: %v under %s", v.Kind, v.Bad, v.Schedule), true
 		}},
 	}
+}
+
+// startAdmin serves the shared admin endpoint (/metrics /debug/pprof)
+// in the background ("" = disabled) — the same routes calmd's -admin
+// exposes, so one curl recipe profiles every binary in the repo.
+func startAdmin(addr string) {
+	if addr == "" {
+		return
+	}
+	adm, err := admin.Start(addr, admin.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: admin: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: admin on http://%s\n", adm.Addr())
 }

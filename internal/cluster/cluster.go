@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/fact"
@@ -33,6 +35,12 @@ type Options struct {
 	Serve serve.Options
 	// Reg, when non-nil, receives the cluster.* metrics.
 	Reg *obs.Registry
+	// Tracer, when non-nil, records request-scoped spans across the
+	// routing stack: log appends, scatter/gather phases, pump
+	// deliveries (detached traces with Conn = -(1+shard)), and the
+	// coord.* coordination events. Cluster span streams are NOT
+	// byte-deterministic — pumps interleave freely (DESIGN.md §13).
+	Tracer *obs.Tracer
 	// Faults, when non-nil, injects duplication/delay/partition faults
 	// into the delta stream, exactly as transducer fault plans inject
 	// them into simulated networks: every decision is a pure function
@@ -70,6 +78,7 @@ type record struct {
 	subs   []serve.Request
 	key    fact.Fact
 	hasKey bool
+	enq    time.Time // append wall time; zero when metrics are disabled
 }
 
 // delivery is one inbox item for one shard: a log record to apply, or
@@ -108,6 +117,11 @@ type shard struct {
 	stop     bool
 	pumpDone chan struct{}
 
+	// heldN mirrors the pump-local held-delivery count for /healthz
+	// and the cluster op — the pump owns the list, everyone else just
+	// reads this.
+	heldN atomic.Int64
+
 	wmMu   sync.Mutex
 	wmCond *sync.Cond
 	wm     int // highest g with every delivery ≤ g applied
@@ -144,10 +158,29 @@ type Cluster struct {
 	comp   map[fact.Value]*compState
 	closed bool
 
-	writes, reads, errors     *obs.Counter
-	deliveries, migrations    *obs.Counter
-	fenceWaits, gathers       *obs.Counter
-	crashes, recoveries       *obs.Counter
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	writes, reads, errors  *obs.Counter
+	deliveries, migrations *obs.Counter
+	fenceWaits, gathers    *obs.Counter
+	crashes, recoveries    *obs.Counter
+
+	// Coordination budget (coord.*) — see internal/obs names.go.
+	coordFences     *obs.Counter
+	holdFlushes     *obs.Counter
+	holdsReleased   *obs.Counter
+	coordMigrations *obs.Counter
+	fencedReads     *obs.Counter
+
+	// Latency planes: gather phases, log append, delivery lag.
+	gatherNs       *obs.LatencyHist
+	fanoutNs       *obs.LatencyHist
+	mergeNs        *obs.LatencyHist
+	gatherRenderNs *obs.LatencyHist
+	logAppendNs    *obs.LatencyHist
+	deliveryLagNs  *obs.LatencyHist
+	coordFenceNs   *obs.LatencyHist
 }
 
 // New builds a cluster of opts.Shards shards over the program and
@@ -175,6 +208,9 @@ func New(p *datalog.Program, initial *fact.Instance, opts Options) (*Cluster, er
 		ci:     newComponentIndex(n),
 		comp:   make(map[fact.Value]*compState),
 
+		reg:    opts.Reg,
+		tracer: opts.Tracer,
+
 		writes:     opts.Reg.Counter(obs.ClusterWrites),
 		reads:      opts.Reg.Counter(obs.ClusterReads),
 		errors:     opts.Reg.Counter(obs.ClusterErrors),
@@ -184,6 +220,20 @@ func New(p *datalog.Program, initial *fact.Instance, opts Options) (*Cluster, er
 		gathers:    opts.Reg.Counter(obs.ClusterGathers),
 		crashes:    opts.Reg.Counter(obs.ClusterCrashes),
 		recoveries: opts.Reg.Counter(obs.ClusterRecoveries),
+
+		coordFences:     opts.Reg.Counter(obs.CoordFenceWaits),
+		holdFlushes:     opts.Reg.Counter(obs.CoordHoldFlushes),
+		holdsReleased:   opts.Reg.Counter(obs.CoordHoldsReleased),
+		coordMigrations: opts.Reg.Counter(obs.CoordMigrations),
+		fencedReads:     opts.Reg.Counter(obs.CoordFencedReads),
+
+		gatherNs:       opts.Reg.Latency(obs.ClusterGatherNs),
+		fanoutNs:       opts.Reg.Latency(obs.ClusterGatherFanoutNs),
+		mergeNs:        opts.Reg.Latency(obs.ClusterGatherMergeNs),
+		gatherRenderNs: opts.Reg.Latency(obs.ClusterGatherRenderNs),
+		logAppendNs:    opts.Reg.Latency(obs.ClusterLogAppendNs),
+		deliveryLagNs:  opts.Reg.Latency(obs.ClusterDeliveryLagNs),
+		coordFenceNs:   opts.Reg.Latency(obs.CoordFenceWaitNs),
 	}
 	c.share = c.splitInitial(initial, n)
 	for j := 0; j < n; j++ {
@@ -287,6 +337,57 @@ func (c *Cluster) Watermarks() []int {
 	return wms
 }
 
+// ShardHealth is one shard's live progress: the payload of /healthz
+// and of the NDJSON cluster op's applied/held/lag fields.
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Down reports a crashed, not-yet-restarted shard.
+	Down bool `json:"down,omitempty"`
+	// Watermark is the global log prefix the shard has applied; Lag is
+	// the log tip minus that watermark (entries still in flight).
+	Watermark int `json:"watermark"`
+	Lag       int `json:"lag"`
+	// Held counts fault-held deliveries parked on the shard.
+	Held int `json:"held"`
+	// Applied is the shard serving core's published epoch sequence.
+	Applied int `json:"applied"`
+}
+
+// Health reports the log length and every shard's live progress.
+func (c *Cluster) Health() (log int, shards []ShardHealth) {
+	log = c.LogLen()
+	shards = make([]ShardHealth, len(c.shards))
+	for j, sh := range c.shards {
+		h := ShardHealth{
+			Shard:     j,
+			Down:      sh.isDown(),
+			Watermark: sh.watermark(),
+			Held:      int(sh.heldN.Load()),
+			Applied:   sh.core.Load().Seq(),
+		}
+		h.Lag = log - h.Watermark
+		shards[j] = h
+	}
+	return log, shards
+}
+
+// PublishHealth refreshes the per-shard labeled gauge families
+// (cluster_pump_lag{shard="j"}, cluster_held_deliveries{shard="j"})
+// from live state. The admin server calls it as its BeforeScrape
+// hook, so /metrics always carries current watermark lag without the
+// pumps updating gauges on their hot path.
+func (c *Cluster) PublishHealth() {
+	if c.reg == nil {
+		return
+	}
+	_, shards := c.Health()
+	for _, h := range shards {
+		s := strconv.Itoa(h.Shard)
+		c.reg.Gauge(obs.WithLabel(obs.ClusterPumpLag, "shard", s)).Set(int64(h.Lag))
+		c.reg.Gauge(obs.WithLabel(obs.ClusterHeldDeliveries, "shard", s)).Set(int64(h.Held))
+	}
+}
+
 // Close shuts every shard down. Outstanding writes racing the close
 // are answered with an error.
 func (c *Cluster) Close() {
@@ -319,6 +420,13 @@ func (c *Cluster) Close() {
 // global log position, the only total order that exists there; apply
 // stats include migration traffic when a write bridges components.
 func (c *Cluster) SubmitWrite(req serve.Request) (serve.Response, int) {
+	return c.SubmitWriteCtx(req, obs.SpanCtx{})
+}
+
+// SubmitWriteCtx is SubmitWrite with a trace context: the log append
+// is recorded as a cluster.log_append span and component migrations
+// as coord.migration spans under tc.
+func (c *Cluster) SubmitWriteCtx(req serve.Request, tc obs.SpanCtx) (serve.Response, int) {
 	c.writes.Inc()
 	if req.Op == "snapshot" {
 		c.errors.Inc()
@@ -334,15 +442,24 @@ func (c *Cluster) SubmitWrite(req serve.Request) (serve.Response, int) {
 		return serve.ErrResp("%v", err), 0
 	}
 
+	ls := tc.Start(obs.SpanLogAppend)
+	var lstart time.Time
+	if c.reg != nil {
+		lstart = time.Now()
+	}
 	n := len(c.shards)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		c.errors.Inc()
+		ls.Finish()
 		return serve.ErrResp("cluster is closed"), 0
 	}
 	g := len(c.log) + 1
 	rec := &record{g: g}
+	if c.reg != nil {
+		rec.enq = lstart
+	}
 	if len(ins) > 0 {
 		rec.key, rec.hasKey = ins[0], true
 	} else if len(ret) > 0 {
@@ -389,8 +506,19 @@ func (c *Cluster) SubmitWrite(req serve.Request) (serve.Response, int) {
 		sh.enqueue(d)
 	}
 	c.mu.Unlock()
+	ls.SetSeq(g).Finish()
+	if !lstart.IsZero() {
+		c.logAppendNs.Observe(time.Since(lstart).Nanoseconds())
+	}
 	if migrated > 0 {
 		c.migrations.Add(int64(migrated))
+		// A migration is coordination the placement layer performed on
+		// the write's behalf: base facts moved shards inside this log
+		// record so every derivation stays local.
+		c.coordMigrations.Add(int64(migrated))
+		ms := tc.Start(obs.SpanCoordMigration)
+		ms.SetSeq(g).Attr("components", migrated)
+		ms.Finish()
 	}
 
 	if !c.plan.Partitioned {
@@ -574,19 +702,26 @@ func (c *Cluster) ensureComp(root fact.Value) {
 // shards); partitioned mode scatters to every live shard and gathers
 // the disjoint union.
 func (c *Cluster) Read(affinity int, req serve.Request, fence int) serve.Response {
+	return c.ReadCtx(affinity, req, fence, obs.SpanCtx{})
+}
+
+// ReadCtx is Read with a trace context: a partitioned read records
+// cluster.gather with fanout/merge phase children; a replicated read
+// traces through the affinity shard's core.
+func (c *Cluster) ReadCtx(affinity int, req serve.Request, fence int, tc obs.SpanCtx) serve.Response {
 	c.reads.Inc()
 	if !serve.IsRead(req.Op) {
 		c.errors.Inc()
 		return serve.ErrResp("unknown op %q", req.Op)
 	}
 	if c.plan.Partitioned {
-		return c.gather(req, fence)
+		return c.gather(req, fence, tc)
 	}
 	n := len(c.shards)
 	for k := 0; k < n; k++ {
 		sh := c.shards[(affinity+k)%n]
 		if sh.waitWM(fence) {
-			return sh.core.Load().Do(req)
+			return sh.core.Load().DoCtx(req, tc)
 		}
 	}
 	c.errors.Inc()
@@ -601,7 +736,12 @@ func (c *Cluster) Read(affinity int, req serve.Request, fence int) serve.Respons
 // exactly the transducer model's crash semantics. Epoch echoes and
 // stats seq report the minimum watermark across consulted shards:
 // the longest log prefix the whole answer is guaranteed to reflect.
-func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
+// The gather path is phase-instrumented (PERF.9 lives on it): fanout
+// is epoch pinning across shards including any watermark fence waits;
+// merge is the cross-shard k-way union; render (the wire encode) is
+// measured by the router. Each phase is both a latency histogram and
+// a child span of the gather span.
+func (c *Cluster) gather(req serve.Request, fence int, tc obs.SpanCtx) serve.Response {
 	c.gathers.Inc()
 	if req.Op == "ping" {
 		return serve.Response{OK: true}
@@ -610,6 +750,15 @@ func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
 		c.errors.Inc()
 		return serve.ErrResp("query needs a rel")
 	}
+	gs := tc.Start(obs.SpanGather)
+	var gstart time.Time
+	if c.reg != nil {
+		gstart = time.Now()
+		defer func() { c.gatherNs.Observe(time.Since(gstart).Nanoseconds()) }()
+	}
+	defer gs.Finish()
+
+	fsp := gs.Ctx().Start(obs.SpanGatherFanout)
 	var eps []*incr.Epoch
 	minWM := -1
 	for _, sh := range c.shards {
@@ -623,9 +772,26 @@ func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
 			minWM = wm
 		}
 	}
+	fsp.SetSeq(minWM).Attr("shards", len(eps)).Finish()
+	if !gstart.IsZero() {
+		c.fanoutNs.Observe(time.Since(gstart).Nanoseconds())
+	}
 	if len(eps) == 0 {
 		c.errors.Inc()
 		return serve.ErrResp("cluster: every shard is down")
+	}
+	gs.SetSeq(minWM)
+
+	msp := gs.Ctx().Start(obs.SpanGatherMerge)
+	var mstart time.Time
+	if c.reg != nil {
+		mstart = time.Now()
+	}
+	mergeDone := func(facts int) {
+		msp.Attr("facts", facts).Finish()
+		if !mstart.IsZero() {
+			c.mergeNs.Observe(time.Since(mstart).Nanoseconds())
+		}
 	}
 
 	switch req.Op {
@@ -643,6 +809,7 @@ func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
 			}
 		}
 		fs := factStringsMerged(lists)
+		mergeDone(len(fs))
 		ncount := len(fs)
 		resp := serve.Response{OK: true, Count: &ncount, Facts: fs}
 		if req.Epoch {
@@ -656,8 +823,10 @@ func (c *Cluster) gather(req serve.Request, fence int) serve.Response {
 			st.Base += ep.BaseLen()
 		}
 		st.Derived = st.Facts - st.Base
+		mergeDone(st.Facts)
 		return serve.Response{OK: true, Stats: st}
 	}
+	mergeDone(0)
 	c.errors.Inc()
 	return serve.ErrResp("unknown op %q", req.Op)
 }
@@ -783,17 +952,24 @@ func (sh *shard) pump() {
 	defer close(sh.pumpDone)
 	var held []heldDelivery
 	maxSeen := 0
+	// The pump's deliveries form one detached trace: Conn = -(1+shard)
+	// marks an actor with no client connection.
+	ptc := sh.c.tracer.Root(obs.TraceID{Conn: -int64(1 + sh.id)})
 
-	release := func(upTo int) {
+	release := func(upTo int) int {
 		kept := held[:0]
+		n := 0
 		for _, h := range held {
 			if upTo >= 0 && h.release > upTo {
 				kept = append(kept, h)
 				continue
 			}
-			sh.apply(h.d)
+			sh.apply(h.d, ptc)
+			n++
 		}
 		held = kept
+		sh.heldN.Store(int64(len(held)))
+		return n
 	}
 	updateWM := func() {
 		wm := maxSeen
@@ -819,35 +995,55 @@ func (sh *shard) pump() {
 		release(g)
 		sub := d.rec.subs[sh.id]
 		mono := sub.Op != "retract" && len(sub.Retract) == 0
-		if !mono {
-			release(-1) // retraction barrier: nothing may be reordered past it
+		if !mono && len(held) > 0 {
+			// Retraction barrier: nothing may be reordered past it. This
+			// flush is the delta-stream coordination a non-monotone write
+			// costs — budgeted under coord.*.
+			hs := ptc.Start(obs.SpanCoordHoldFlush)
+			n := release(-1)
+			hs.SetShard(sh.id).SetSeq(g).Attr("released", n)
+			hs.Finish()
+			sh.c.holdFlushes.Inc()
+			sh.c.holdsReleased.Add(int64(n))
+		} else if !mono {
+			release(-1)
 		}
 		if p := sh.c.faults; p != nil && mono && d.resp == nil && d.rec.hasKey {
 			if hold := p.HoldFor(g, routerNode, sh.node, d.rec.key); hold > 0 {
 				held = append(held, heldDelivery{d: d, release: g + hold})
+				sh.heldN.Store(int64(len(held)))
 				maxSeen = g
 				updateWM()
 				continue
 			}
 			if p.ExtraCopies(g, routerNode, sh.node, d.rec.key) > 0 {
-				sh.apply(delivery{rec: d.rec}) // duplicate copy; applies are idempotent
+				sh.apply(delivery{rec: d.rec}, ptc) // duplicate copy; applies are idempotent
 			}
 		}
-		sh.apply(d)
+		sh.apply(d, ptc)
 		maxSeen = g
 		updateWM()
 	}
 }
 
-// apply runs one delivery against the serving core and acks it.
-func (sh *shard) apply(d delivery) {
+// apply runs one delivery against the serving core and acks it. The
+// delivery is recorded as a cluster.deliver span on the pump's trace,
+// nesting the core's request phases, and its wall-clock lag from log
+// append feeds cluster.delivery_lag_ns.
+func (sh *shard) apply(d delivery, ptc obs.SpanCtx) {
 	req := d.rec.subs[sh.id]
 	var r serve.Response
 	if req.Op == "" {
 		r = serve.Response{OK: true}
 	} else {
-		r = sh.core.Load().Do(req)
+		ds := ptc.Start(obs.SpanDeliver)
+		ds.SetShard(sh.id).SetSeq(d.rec.g)
+		r = sh.core.Load().DoCtx(req, ds.Ctx())
+		ds.Finish()
 		sh.c.deliveries.Inc()
+		if !d.rec.enq.IsZero() {
+			sh.c.deliveryLagNs.Observe(time.Since(d.rec.enq).Nanoseconds())
+		}
 	}
 	if d.resp != nil {
 		d.resp <- r
@@ -876,21 +1072,32 @@ func (sh *shard) isDown() bool {
 }
 
 // waitWM blocks until the shard's watermark reaches g; false means
-// the shard is down (the caller should route around it).
+// the shard is down (the caller should route around it). A wait that
+// actually blocks is coordination: it is counted under both the
+// legacy cluster.fence_waits and the coord.* budget, with its
+// duration in coord.fence_wait_ns.
 func (sh *shard) waitWM(g int) bool {
 	sh.wmMu.Lock()
 	defer sh.wmMu.Unlock()
 	if sh.down {
 		return false
 	}
+	var start time.Time
 	if sh.wm < g {
 		sh.c.fenceWaits.Inc()
+		sh.c.coordFences.Inc()
+		if sh.c.reg != nil {
+			start = time.Now()
+		}
 	}
 	for sh.wm < g {
 		if sh.down {
 			return false
 		}
 		sh.wmCond.Wait()
+	}
+	if !start.IsZero() {
+		sh.c.coordFenceNs.Observe(time.Since(start).Nanoseconds())
 	}
 	return true
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -67,7 +68,7 @@ func runPartitionedEquivalence(t *testing.T, shards int, seed int64) {
 			}
 			present[e] = !present[e]
 			f := fmt.Sprintf("E(p%d,p%d)", e[0], e[1])
-			resp := cns[rng.Intn(conns)].handle(serve.Request{Op: op, Facts: []string{f}})
+			resp := cns[rng.Intn(conns)].handle(serve.Request{Op: op, Facts: []string{f}}, obs.SpanCtx{})
 			if !resp.OK {
 				t.Fatalf("round %d write %d (%s %s) failed: %s", round, w, op, f, resp.Err)
 			}
@@ -99,7 +100,7 @@ func compareCut(t *testing.T, c *Cluster, r *Router, oracle *incr.Materializatio
 		{Op: "query", Rel: "E"},
 		{Op: "facts"},
 	} {
-		got, err := cn.handle(req).Encode()
+		got, err := cn.handle(req, obs.SpanCtx{}).Encode()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func compareCut(t *testing.T, c *Cluster, r *Router, oracle *incr.Materializatio
 				round, req.Op, req.Rel, got, want)
 		}
 	}
-	stats := cn.handle(serve.Request{Op: "stats"})
+	stats := cn.handle(serve.Request{Op: "stats"}, obs.SpanCtx{})
 	if stats.Stats == nil || stats.Stats.Facts != ep.Len() || stats.Stats.Base != ep.BaseLen() ||
 		stats.Stats.Derived != ep.Len()-ep.BaseLen() {
 		t.Fatalf("round %d gathered stats %+v != oracle (facts %d, base %d)", round, stats.Stats, ep.Len(), ep.BaseLen())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/fact"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/transducer"
 )
@@ -71,7 +72,7 @@ func faultRun(t *testing.T, shards int, seed int64, place PlacementKind, crashSh
 			}
 			present[e] = !present[e]
 			f := fmt.Sprintf("E(f%d,f%d)", e[0], e[1])
-			resp := cns[rng.Intn(conns)].handle(serve.Request{Op: op, Facts: []string{f}})
+			resp := cns[rng.Intn(conns)].handle(serve.Request{Op: op, Facts: []string{f}}, obs.SpanCtx{})
 			if !resp.OK && !tolerateErrors {
 				t.Fatalf("write %s %s failed: %s", op, f, resp.Err)
 			}

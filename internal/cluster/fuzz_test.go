@@ -60,7 +60,7 @@ func FuzzRouteRequest(f *testing.F) {
 	f.Fuzz(func(t *testing.T, line []byte) {
 		r := fuzzRouter(t)
 		cn := r.newConn()
-		resp := cn.handleLine(line)
+		resp := cn.handleLine(line, nil)
 		if resp.OK && resp.Err != "" {
 			t.Fatalf("response both ok and error: %+v", resp)
 		}
@@ -87,7 +87,7 @@ func FuzzRouteRequest(f *testing.F) {
 			}
 		}
 		// Liveness: the router still answers after whatever happened.
-		if ping := r.newConn().handleLine([]byte(`{"op":"ping"}`)); !ping.OK {
+		if ping := r.newConn().handleLine([]byte(`{"op":"ping"}`), nil); !ping.OK {
 			t.Fatalf("router dead after input %q: %+v", line, ping)
 		}
 	})

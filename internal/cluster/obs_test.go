@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// chainLines builds E(n<i>,n<i+1>) insert lines over one chain — one
+// connected component, so component placement keeps it partitioned.
+func chainFacts(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "E(n%d,n%d)\n", i, i+1)
+	}
+	return sb.String()
+}
+
+// TestGatherPhaseTelemetry drives a partitioned cluster through the
+// router with the full observability stack on and asserts every
+// gather phase (fanout, merge, render), the write-path log append,
+// and the pump delivery lag produced measurements — plus that the
+// extended cluster op body carries the live per-shard progress arrays.
+func TestGatherPhaseTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(4096, false)
+	c := newTestCluster(t, tcProgram, chainFacts(8), Options{
+		Shards: 2, Placement: PlaceComponent, Reg: reg, Tracer: tr,
+	})
+	if !c.Plan().Partitioned {
+		t.Fatalf("want partitioned plan, got %+v", c.Plan())
+	}
+	r := NewRouter(c)
+
+	lines := []string{
+		`{"op":"insert","facts":["E(x1,x2)"]}`,
+		`{"op":"query","rel":"T"}`,
+		`{"op":"facts"}`,
+		`{"op":"cluster"}`,
+	}
+	resps := routerSession(t, r, lines...)
+
+	for _, name := range []string{
+		obs.ClusterGatherNs,
+		obs.ClusterGatherFanoutNs,
+		obs.ClusterGatherMergeNs,
+		obs.ClusterGatherRenderNs,
+		obs.ClusterLogAppendNs,
+	} {
+		if n := reg.Latency(name).Count(); n == 0 {
+			t.Errorf("latency %s recorded no observations", name)
+		}
+	}
+	// Delivery lag is recorded by the asynchronous pumps; the gathered
+	// read above fenced on the write, so the delivery already happened.
+	if n := reg.Latency(obs.ClusterDeliveryLagNs).Count(); n == 0 {
+		t.Errorf("latency %s recorded no observations", obs.ClusterDeliveryLagNs)
+	}
+
+	cl := decodeResp(t, resps[3])
+	if cl.Cluster == nil {
+		t.Fatalf("cluster op returned no body: %s", resps[3])
+	}
+	body := cl.Cluster
+	if len(body.Applied) != 2 || len(body.Held) != 2 || len(body.Lag) != 2 {
+		t.Fatalf("cluster body progress arrays = %+v, want length 2 each", body)
+	}
+	for j := range body.Lag {
+		if body.Lag[j] != body.Log-body.Watermarks[j] {
+			t.Errorf("shard %d lag = %d, want log-watermark = %d", j, body.Lag[j], body.Log-body.Watermarks[j])
+		}
+		if body.Held[j] != 0 {
+			t.Errorf("shard %d held = %d, want 0 without a fault plan", j, body.Held[j])
+		}
+		if body.Applied[j] < 0 {
+			t.Errorf("shard %d applied = %d", j, body.Applied[j])
+		}
+	}
+
+	// The span plane saw the same phases, threaded under request roots.
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.String()
+	for _, span := range []string{
+		obs.SpanReq, obs.SpanGather, obs.SpanGatherFanout,
+		obs.SpanGatherMerge, obs.SpanGatherRender,
+		obs.SpanLogAppend, obs.SpanDeliver,
+	} {
+		if !strings.Contains(stream, `"span":"`+span+`"`) {
+			t.Errorf("span stream missing %s:\n%s", span, stream)
+		}
+	}
+
+	// PublishHealth mirrors the same progress into labeled gauges.
+	c.PublishHealth()
+	for j := 0; j < 2; j++ {
+		name := obs.WithLabel(obs.ClusterPumpLag, "shard", fmt.Sprint(j))
+		if v := reg.Gauge(name).Value(); v < 0 {
+			t.Errorf("gauge %s = %d", name, v)
+		}
+	}
+}
+
+// BenchmarkGatherPhases measures the partitioned scatter/gather read
+// path end to end through the router wire loop (the PERF.9 subject),
+// with phase attribution left to the latency histograms.
+func BenchmarkGatherPhases(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(b, tcProgram, chainFacts(64), Options{
+		Shards: 4, Placement: PlaceComponent, Reg: reg,
+	})
+	if !c.Plan().Partitioned {
+		b.Fatalf("want partitioned plan, got %+v", c.Plan())
+	}
+	r := NewRouter(c)
+	line := `{"op":"query","rel":"T"}` + "\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := r.Serve(strings.NewReader(line), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report := func(name, metric string) {
+		h := reg.Latency(name)
+		if h.Count() > 0 {
+			b.ReportMetric(float64(h.Sum())/float64(h.Count()), metric)
+		}
+	}
+	report(obs.ClusterGatherNs, "gather-ns/op")
+	report(obs.ClusterGatherFanoutNs, "fanout-ns/op")
+	report(obs.ClusterGatherMergeNs, "merge-ns/op")
+	report(obs.ClusterGatherRenderNs, "render-ns/op")
+}
+
+// BenchmarkGatherBaseline is the single-node comparison leg for
+// PERF.9: the same chain and query served by one core, no router.
+func BenchmarkGatherBaseline(b *testing.B) {
+	c := newTestCluster(b, tcProgram, chainFacts(64), Options{
+		Shards: 1, Placement: PlaceHash,
+	})
+	r := NewRouter(c)
+	line := `{"op":"query","rel":"T"}` + "\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := r.Serve(strings.NewReader(line), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

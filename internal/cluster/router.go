@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -27,6 +29,14 @@ import (
 // Requests are handled synchronously per connection (responses are
 // trivially in request order); concurrency comes from connections,
 // and inside the cluster from the asynchronous shard pumps.
+//
+// Tracing: when the cluster has a Tracer, each request is a srv.req
+// root span with TraceID (connection id, request line number) —
+// positional, never random. The write path nests
+// cluster.log_append → pump deliveries (detached traces); the
+// partitioned read path nests cluster.gather with fanout/merge
+// children, and the wire encode of a gathered fact response is the
+// cluster.gather_render phase.
 type Router struct {
 	c    *Cluster
 	next atomic.Int64
@@ -41,17 +51,21 @@ func (r *Router) Cluster() *Cluster { return r.c }
 // conn is one connection's routing state.
 type conn struct {
 	r        *Router
+	id       int64 // trace connection id (1-based accept order)
+	seq      int64 // request line number on this connection
 	affinity int
 	lastG    int // global log position of this connection's last write
 }
 
 func (r *Router) newConn() *conn {
 	n := len(r.c.shards)
-	return &conn{r: r, affinity: int(r.next.Add(1)-1) % n}
+	id := r.next.Add(1)
+	return &conn{r: r, id: id, affinity: int(id-1) % n}
 }
 
-// handle routes one decoded request.
-func (cn *conn) handle(req serve.Request) serve.Response {
+// handle routes one decoded request. tc is the request's span context
+// (disabled when tracing is off).
+func (cn *conn) handle(req serve.Request, tc obs.SpanCtx) serve.Response {
 	c := cn.r.c
 	switch {
 	case req.Op == "cluster":
@@ -60,17 +74,28 @@ func (cn *conn) handle(req serve.Request) serve.Response {
 		if c.plan.Partitioned {
 			aff = -1
 		}
-		return serve.Response{OK: true, Cluster: &serve.ClusterBody{
+		logLen, hs := c.Health()
+		body := &serve.ClusterBody{
 			Shards:     len(c.shards),
 			Placement:  string(c.place),
 			Plan:       string(c.plan.Coordination),
 			Fragment:   string(c.plan.Fragment),
-			Log:        c.LogLen(),
-			Watermarks: c.Watermarks(),
+			Log:        logLen,
+			Watermarks: make([]int, len(hs)),
 			Affinity:   aff,
-		}}
+			Applied:    make([]int, len(hs)),
+			Held:       make([]int, len(hs)),
+			Lag:        make([]int, len(hs)),
+		}
+		for j, h := range hs {
+			body.Watermarks[j] = h.Watermark
+			body.Applied[j] = h.Applied
+			body.Held[j] = h.Held
+			body.Lag[j] = h.Lag
+		}
+		return serve.Response{OK: true, Cluster: body}
 	case serve.IsWrite(req.Op):
-		resp, g := c.SubmitWrite(req)
+		resp, g := c.SubmitWriteCtx(req, tc)
 		if g > 0 {
 			cn.lastG = g
 		}
@@ -78,22 +103,36 @@ func (cn *conn) handle(req serve.Request) serve.Response {
 	case serve.IsRead(req.Op):
 		fence := cn.lastG
 		if c.plan.Coordination == CoordFenced {
+			// A fenced read is coordination by plan: every consulted
+			// shard must reach the log tip observed at arrival.
 			fence = c.LogLen()
+			c.fencedReads.Inc()
+			fr := tc.Start(obs.SpanCoordFencedRead)
+			fr.SetSeq(fence)
+			resp := c.ReadCtx(cn.affinity, req, fence, fr.Ctx())
+			fr.Finish()
+			return resp
 		}
-		return c.Read(cn.affinity, req, fence)
+		return c.ReadCtx(cn.affinity, req, fence, tc)
 	}
 	c.errors.Inc()
 	return serve.ErrResp("unknown op %q", req.Op)
 }
 
-// handleLine decodes and routes one request line.
-func (cn *conn) handleLine(line []byte) serve.Response {
+// handleLine decodes and routes one request line; span is the
+// request's srv.req span (finished by the caller after render).
+func (cn *conn) handleLine(line []byte, span *obs.ActiveSpan) serve.Response {
 	var req serve.Request
 	if err := json.Unmarshal(line, &req); err != nil {
 		cn.r.c.errors.Inc()
+		span.Attr("op", "?")
 		return serve.ErrResp("bad request: %v", err)
 	}
-	return cn.handle(req)
+	span.Attr("op", req.Op)
+	if req.Rel != "" {
+		span.Attr("rel", req.Rel)
+	}
+	return cn.handle(req, span.Ctx())
 }
 
 // Serve runs the request loop until EOF — the cluster twin of
@@ -106,9 +145,28 @@ func (r *Router) Serve(rd io.Reader, w io.Writer) error {
 	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	bw := bufio.NewWriter(w)
 	cn := r.newConn()
+	c := r.c
 
-	writeResp := func(resp serve.Response) error {
+	writeResp := func(resp serve.Response, span *obs.ActiveSpan) error {
+		// The wire encode of a gathered fact response is the gather's
+		// render phase (the third leg of the PERF.9 breakdown).
+		gathered := c.plan.Partitioned && resp.Facts != nil
+		var rs *obs.ActiveSpan
+		var start time.Time
+		if gathered {
+			rs = span.Ctx().Start(obs.SpanGatherRender)
+			if c.reg != nil {
+				start = time.Now()
+			}
+		}
 		b, err := resp.Encode()
+		if gathered {
+			rs.Attr("bytes", len(b)).Finish()
+			if !start.IsZero() {
+				c.gatherRenderNs.Observe(time.Since(start).Nanoseconds())
+			}
+		}
+		span.Finish()
 		if err != nil {
 			return err
 		}
@@ -126,12 +184,17 @@ func (r *Router) Serve(rd io.Reader, w io.Writer) error {
 		if len(line) == 0 {
 			continue
 		}
-		if err := writeResp(cn.handleLine(line)); err != nil {
+		cn.seq++
+		var span *obs.ActiveSpan
+		if c.tracer != nil {
+			span = c.tracer.Root(obs.TraceID{Conn: cn.id, Seq: cn.seq}).Start(obs.SpanReq)
+		}
+		if err := writeResp(cn.handleLine(line, span), span); err != nil {
 			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		writeResp(serve.ErrResp("read: %v", err)) // best effort; stream may be gone
+		writeResp(serve.ErrResp("read: %v", err), nil) // best effort; stream may be gone
 		return fmt.Errorf("read: %w", err)
 	}
 	return bw.Flush()

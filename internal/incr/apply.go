@@ -163,6 +163,27 @@ func (m *Materialization) Apply(d Delta) (ApplyStats, error) {
 	return a.st, nil
 }
 
+// ApplyTraced is Apply with a trace context: the maintenance run is
+// recorded as one incr.apply span stamped with the resulting sequence
+// number and the (deterministic) apply stats. The serving core's
+// writer uses it so a request trace reaches all the way into view
+// maintenance; with a disabled context it is exactly Apply.
+func (m *Materialization) ApplyTraced(d Delta, tc obs.SpanCtx) (ApplyStats, error) {
+	if !tc.Enabled() {
+		return m.Apply(d)
+	}
+	sp := tc.Start(obs.SpanIncrApply)
+	st, err := m.Apply(d)
+	sp.SetSeq(m.seq)
+	sp.Attr("inserted", st.BaseInserted).Attr("retracted", st.BaseRetracted)
+	sp.Attr("added", st.DerivedAdded).Attr("removed", st.DerivedRemoved)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.Finish()
+	return st, err
+}
+
 // netDelta validates and nets the delta down to actual base changes,
 // returned in sorted fact order.
 func (m *Materialization) netDelta(d Delta) (ins, ret []fact.Fact, err error) {

@@ -82,12 +82,12 @@ type Delta struct {
 // phase counts in both). Overdeleted/Rederived measure DRed churn;
 // Support* count derivation-count updates.
 type ApplyStats struct {
-	BaseInserted, BaseRetracted   int
-	DerivedAdded, DerivedRemoved  int
-	Overdeleted, Rederived        int
-	Recounts                      int
-	SupportIncrements             int64
-	SupportDecrements             int64
+	BaseInserted, BaseRetracted  int
+	DerivedAdded, DerivedRemoved int
+	Overdeleted, Rederived       int
+	Recounts                     int
+	SupportIncrements            int64
+	SupportDecrements            int64
 }
 
 // stratum is one stratum of the program with the precomputed

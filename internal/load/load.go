@@ -2,7 +2,12 @@
 // protocol. It drives N concurrent TCP connections against a daemon,
 // each pipelining a reproducible mix of reads (query/stats) and
 // writes (insert/retract churn in a per-connection edge namespace),
-// and reports throughput plus p50/p99 latency split by op class.
+// and reports throughput plus p50/p90/p99/p999 latency split by op
+// class. Latencies accumulate in obs.LatencyHist log-scale histograms
+// (per connection, merged exactly at the end), the same instrument the
+// server publishes on /metrics — so client-observed and server-side
+// quantiles are directly comparable (calmload -metrics-url does that
+// cross-check).
 //
 // The generator is the measurement half of the PR-7 serving-core
 // claim: a pipelined multi-connection workload on a read-heavy mix
@@ -19,9 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // okPrefix starts every success response ("ok" is the first field of
@@ -38,7 +44,7 @@ type Config struct {
 	// connection's private write namespace stays on one shard. A
 	// single-element Addrs is byte-identical in behavior to Addr.
 	Addrs    []string
-	Conns    int // concurrent connections (default 4)
+	Conns    int           // concurrent connections (default 4)
 	Window   int           // max in-flight requests per connection; 1 = serial ping-pong (default 32)
 	Duration time.Duration // send window per connection (default 2s)
 	Seed     int64         // base RNG seed; conn i derives Seed + i*7919
@@ -101,13 +107,36 @@ type Result struct {
 	Writes int64 `json:"writes"`
 	Errors int64 `json:"errors"` // ok:false responses (protocol errors)
 
-	OpsPerSec  float64 `json:"ops_per_sec"`
-	P50Ns      int64   `json:"p50_ns"`
-	P99Ns      int64   `json:"p99_ns"`
-	ReadP50Ns  int64   `json:"read_p50_ns"`
-	ReadP99Ns  int64   `json:"read_p99_ns"`
-	WriteP50Ns int64   `json:"write_p50_ns"`
-	WriteP99Ns int64   `json:"write_p99_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Quantiles are estimated from merged log-scale histograms
+	// (obs.LatencyHist, <=6.25% relative bucket-midpoint error), not
+	// from sorted samples: the instrument matches the server's, and the
+	// estimate is stable under merge order.
+	P50Ns      int64 `json:"p50_ns"`
+	P90Ns      int64 `json:"p90_ns"`
+	P99Ns      int64 `json:"p99_ns"`
+	P999Ns     int64 `json:"p999_ns"`
+	ReadP50Ns  int64 `json:"read_p50_ns"`
+	ReadP90Ns  int64 `json:"read_p90_ns"`
+	ReadP99Ns  int64 `json:"read_p99_ns"`
+	ReadP999Ns int64 `json:"read_p999_ns"`
+
+	WriteP50Ns  int64 `json:"write_p50_ns"`
+	WriteP90Ns  int64 `json:"write_p90_ns"`
+	WriteP99Ns  int64 `json:"write_p99_ns"`
+	WriteP999Ns int64 `json:"write_p999_ns"`
+
+	// readHist / writeHist are the merged client-side histograms behind
+	// the quantile fields, kept for the -metrics-url cross-check.
+	readHist  *obs.LatencyHist
+	writeHist *obs.LatencyHist
+}
+
+// Hists returns the merged client-side read and write latency
+// histograms behind the Result's quantile fields (nil on a Result
+// not produced by Run).
+func (r *Result) Hists() (read, write *obs.LatencyHist) {
+	return r.readHist, r.writeHist
 }
 
 // Comparison pairs a pipelined multi-connection run with the serial
@@ -122,8 +151,8 @@ type Comparison struct {
 
 // connStats accumulates one connection's measurements.
 type connStats struct {
-	readLat  []time.Duration
-	writeLat []time.Duration
+	readLat  obs.LatencyHist
+	writeLat obs.LatencyHist
 	errors   int64
 }
 
@@ -161,22 +190,25 @@ func Run(cfg Config) (*Result, error) {
 		Seed:        cfg.Seed,
 		DurationSec: elapsed.Seconds(),
 	}
-	var all, reads, writes []time.Duration
+	reads, writes := &obs.LatencyHist{}, &obs.LatencyHist{}
 	for _, st := range stats {
 		res.Errors += st.errors
-		reads = append(reads, st.readLat...)
-		writes = append(writes, st.writeLat...)
+		reads.Merge(&st.readLat)
+		writes.Merge(&st.writeLat)
 	}
-	all = append(append(all, reads...), writes...)
-	res.Reads = int64(len(reads))
-	res.Writes = int64(len(writes))
+	all := &obs.LatencyHist{}
+	all.Merge(reads)
+	all.Merge(writes)
+	res.Reads = reads.Count()
+	res.Writes = writes.Count()
 	res.Ops = res.Reads + res.Writes
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	}
-	res.P50Ns, res.P99Ns = percentiles(all)
-	res.ReadP50Ns, res.ReadP99Ns = percentiles(reads)
-	res.WriteP50Ns, res.WriteP99Ns = percentiles(writes)
+	res.P50Ns, res.P90Ns, res.P99Ns, res.P999Ns = quantiles(all)
+	res.ReadP50Ns, res.ReadP90Ns, res.ReadP99Ns, res.ReadP999Ns = quantiles(reads)
+	res.WriteP50Ns, res.WriteP90Ns, res.WriteP99Ns, res.WriteP999Ns = quantiles(writes)
+	res.readHist, res.writeHist = reads, writes
 	return res, nil
 }
 
@@ -247,9 +279,9 @@ func runConn(cfg Config, id int, deadline time.Time) (*connStats, error) {
 				st.errors++
 			}
 			if s.read {
-				st.readLat = append(st.readLat, lat)
+				st.readLat.Observe(lat.Nanoseconds())
 			} else {
-				st.writeLat = append(st.writeLat, lat)
+				st.writeLat.Observe(lat.Nanoseconds())
 			}
 		}
 		readErr = sc.Err()
@@ -314,17 +346,7 @@ send:
 	return st, nil
 }
 
-// percentiles returns the p50 and p99 latencies in nanoseconds.
-func percentiles(lat []time.Duration) (p50, p99 int64) {
-	if len(lat) == 0 {
-		return 0, 0
-	}
-	sorted := make([]time.Duration, len(lat))
-	copy(sorted, lat)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) int64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i].Nanoseconds()
-	}
-	return at(0.50), at(0.99)
+// quantiles reads the standard latency quantiles off one histogram.
+func quantiles(h *obs.LatencyHist) (p50, p90, p99, p999 int64) {
+	return h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Quantile(0.999)
 }

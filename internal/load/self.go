@@ -173,4 +173,3 @@ func chainSegment(s, nodes, shards int) (string, error) {
 	}
 	return "", fmt.Errorf("load: no namespace salt places segment %d on shard %d of %d", s, s, shards)
 }
-

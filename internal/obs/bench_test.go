@@ -38,13 +38,20 @@ func BenchmarkDisabledOverhead(b *testing.B) {
 		var c *Counter
 		var g *Gauge
 		var h *Histogram
+		var l *LatencyHist
 		var s *Sink
+		var t *Tracer
+		tc := t.Root(TraceID{})
 		x := uint64(1)
 		for n := 0; n < b.N; n++ {
 			x = work(x)
 			c.Add(1)
 			g.Set(int64(n))
 			h.Observe(int64(n))
+			l.Observe(int64(n))
+			sp := tc.Start("ev")
+			sp.SetEpoch(n)
+			sp.Finish()
 			if s != nil {
 				s.Emit("ev", F("n", n))
 			}

@@ -100,9 +100,28 @@ const (
 	SrvQueueDepth = "srv.queue_depth"
 	// SrvReadNs / SrvWriteNs are wall-clock latency histograms from
 	// dispatch to response (for writes this includes queue wait, apply,
-	// and the group-commit barrier).
+	// and the group-commit barrier). Since PR 9 these live in the
+	// latency-histogram plane (LatencyHist), so scrapes get quantiles.
 	SrvReadNs  = "srv.read_ns"
 	SrvWriteNs = "srv.write_ns"
+	// Write-path phase latencies (LatencyHist plane): queue wait from
+	// enqueue to writer pickup, engine apply, group-commit barrier
+	// (batch drain + publish), and read-side render.
+	SrvQueueWaitNs = "srv.queue_wait_ns"
+	SrvApplyNs     = "srv.apply_ns"
+	SrvCommitNs    = "srv.commit_ns"
+	SrvRenderNs    = "srv.render_ns"
+	// SrvFenceWaitNs is the latency histogram of reads that blocked on
+	// a read-your-writes fence inside the core.
+	SrvFenceWaitNs = "srv.fence_wait_ns"
+	// SrvLastCommitUnixNs is a gauge holding the wall-clock unix-nano
+	// timestamp of the most recent epoch publication; /healthz and the
+	// srv_epoch_age_ns scrape gauge derive epoch age from it.
+	SrvLastCommitUnixNs = "srv.last_commit_unix_ns"
+	// SrvEpochAgeNs is a scrape-time gauge: wall-clock nanoseconds since
+	// the last epoch publication (now − SrvLastCommitUnixNs), refreshed
+	// by the admin server's BeforeScrape hook.
+	SrvEpochAgeNs = "srv.epoch_age_ns"
 )
 
 // Cluster metrics (internal/cluster): the sharded coordination-free
@@ -134,6 +153,76 @@ const (
 	// and completed log-replay recoveries.
 	ClusterCrashes    = "cluster.crashes"
 	ClusterRecoveries = "cluster.recoveries"
+	// Gather-path phase latencies (LatencyHist plane): whole gather,
+	// scatter fan-out until every shard leg returned, cross-shard merge,
+	// and response render.
+	ClusterGatherNs       = "cluster.gather_ns"
+	ClusterGatherFanoutNs = "cluster.gather_fanout_ns"
+	ClusterGatherMergeNs  = "cluster.gather_merge_ns"
+	ClusterGatherRenderNs = "cluster.gather_render_ns"
+	// ClusterLogAppendNs is the latency of appending a write to the
+	// global delta log under the cluster lock (placement included).
+	ClusterLogAppendNs = "cluster.log_append_ns"
+	// ClusterDeliveryLagNs is the wall-clock lag from log append to a
+	// shard pump applying the entry (one observation per delivery).
+	ClusterDeliveryLagNs = "cluster.delivery_lag_ns"
+	// ClusterPumpLag is a per-shard labeled gauge family
+	// (WithLabel(ClusterPumpLag, "shard", j)): log tip minus the
+	// shard's applied watermark, in log entries.
+	ClusterPumpLag = "cluster.pump_lag"
+	// ClusterHeldDeliveries is a per-shard labeled gauge family: log
+	// entries currently held by the fault plan and not yet applied.
+	ClusterHeldDeliveries = "cluster.held_deliveries"
+)
+
+// Coordination metrics (coord.*): the CALM-coordination events the
+// serving stack performs — exactly the operations that a fully
+// monotone workload never needs. These exist to make coordination a
+// measurable budget; PERF.9 and /metrics surface them as coord_*.
+const (
+	// CoordFenceWaits counts reads that blocked on an epoch fence
+	// (read-your-writes in the core, fenced gathers in the cluster);
+	// CoordFenceWaitNs is the matching latency histogram.
+	CoordFenceWaits  = "coord.fence_waits"
+	CoordFenceWaitNs = "coord.fence_wait_ns"
+	// CoordHoldFlushes counts retract-triggered hold flushes (a
+	// non-monotone write forcing held deliveries to drain);
+	// CoordHoldsReleased counts the deliveries released by them.
+	CoordHoldFlushes   = "coord.hold_flushes"
+	CoordHoldsReleased = "coord.holds_released"
+	// CoordMigrations counts component migrations between shards.
+	CoordMigrations = "coord.migrations"
+	// CoordFencedReads counts gathers that had to run fenced (wait for
+	// every shard to reach the fence epoch) rather than free.
+	CoordFencedReads = "coord.fenced_reads"
+)
+
+// Span names (the tracing plane, trace.go). Spans are grouped by the
+// subsystem that opens them; coord.* spans mark coordination events.
+const (
+	// SpanConn wraps one serving connection; SpanReq wraps one request
+	// on it (root spans of every request trace).
+	SpanConn = "srv.conn"
+	SpanReq  = "srv.req"
+	// Serving-core write-path phases.
+	SpanQueueWait = "srv.queue_wait"
+	SpanApply     = "srv.apply"
+	SpanCommit    = "srv.commit"
+	SpanRender    = "srv.render"
+	// SpanIncrApply wraps one incr.Apply delta application.
+	SpanIncrApply = "incr.apply"
+	// Cluster router/pump phases.
+	SpanLogAppend    = "cluster.log_append"
+	SpanGather       = "cluster.gather"
+	SpanGatherFanout = "cluster.gather_fanout"
+	SpanGatherMerge  = "cluster.gather_merge"
+	SpanGatherRender = "cluster.gather_render"
+	SpanDeliver      = "cluster.deliver"
+	// Coordination spans.
+	SpanCoordFence      = "coord.fence"
+	SpanCoordHoldFlush  = "coord.hold_flush"
+	SpanCoordMigration  = "coord.migration"
+	SpanCoordFencedRead = "coord.fenced_read"
 )
 
 // ILOG¬ evaluator metrics (internal/ilog).

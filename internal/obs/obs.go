@@ -147,6 +147,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	lats     map[string]*LatencyHist
 }
 
 // NewRegistry returns an empty registry.
@@ -155,6 +156,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		lats:     make(map[string]*LatencyHist),
 	}
 }
 
@@ -206,6 +208,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Latency returns the named log-scale latency histogram, creating it
+// if needed. Returns nil on a nil registry.
+func (r *Registry) Latency(name string) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.lats[name]
+	if !ok {
+		h = &LatencyHist{}
+		r.lats[name] = h
+	}
+	return h
+}
+
 var nopStop = func() {}
 
 // Span starts a wall-clock span timer; the returned stop function
@@ -233,6 +251,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Latencies  map[string]LatencySnapshot   `json:"latencies,omitempty"`
 }
 
 // Snapshot copies the registry's current values. Returns an empty
@@ -255,6 +274,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lats := make(map[string]*LatencyHist, len(r.lats))
+	for k, v := range r.lats {
+		lats[k] = v
+	}
 	r.mu.Unlock()
 	for k, c := range counters {
 		s.Counters[k] = c.Value()
@@ -269,6 +292,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
 		for k, h := range hists {
 			s.Histograms[k] = h.snapshot()
+		}
+	}
+	if len(lats) > 0 {
+		s.Latencies = make(map[string]LatencySnapshot, len(lats))
+		for k, h := range lats {
+			s.Latencies[k] = h.Snapshot()
 		}
 	}
 	return s

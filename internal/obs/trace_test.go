@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerDeterministic pins the core contract: two identical span
+// sequences on deterministic tracers render byte-identical JSONL, and
+// wall-clock fields stay zero.
+func TestTracerDeterministic(t *testing.T) {
+	run := func() string {
+		tr := NewTracer(64, true)
+		tc := tr.Root(TraceID{Conn: 3, Seq: 7})
+		req := tc.Start(SpanReq).SetSeq(7)
+		req.Attr("op", "insert")
+		apply := req.Ctx().Start(SpanApply)
+		apply.SetEpoch(12).SetShard(1)
+		apply.Finish()
+		req.SetEpoch(12)
+		req.Finish()
+		var b strings.Builder
+		if err := tr.WriteJSONL(&b, 0); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("equal runs differ:\n%s\nvs\n%s", a, b)
+	}
+	want := `{"span":"srv.apply","trace":"c3-7","id":2,"parent":1,"epoch":12,"shard":1,"start_ns":0,"dur_ns":0}
+{"span":"srv.req","trace":"c3-7","id":1,"parent":0,"epoch":12,"seq":7,"start_ns":0,"dur_ns":0,"op":"insert"}
+`
+	if a != want {
+		t.Fatalf("rendered stream:\n%s\nwant:\n%s", a, want)
+	}
+}
+
+// TestTracerWallClock checks the non-deterministic mode actually
+// records time and the ring keeps only the most recent spans.
+func TestTracerWallClock(t *testing.T) {
+	tr := NewTracer(4, false)
+	tc := tr.Root(TraceID{Conn: 1})
+	for i := 0; i < 10; i++ {
+		tc.Start(SpanReq).SetSeq(i).Finish()
+	}
+	spans := tr.Spans(0)
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest-first: seqs 6,7,8,9.
+	for i, s := range spans {
+		if s.Seq != int64(6+i) {
+			t.Fatalf("span %d has seq %d, want %d", i, s.Seq, 6+i)
+		}
+		if s.StartNs == 0 {
+			t.Fatal("wall-clock tracer must stamp start_ns")
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if got := tr.Spans(2); len(got) != 2 || got[1].Seq != 9 {
+		t.Fatalf("Spans(2) = %+v", got)
+	}
+}
+
+// TestTracerNil checks the whole disabled surface: nil tracer, zero
+// SpanCtx, nil ActiveSpan.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() || tr.Deterministic() || tr.Total() != 0 || tr.Spans(5) != nil {
+		t.Fatal("nil tracer must be fully disabled")
+	}
+	tc := tr.Root(TraceID{Conn: 9})
+	if tc.Enabled() {
+		t.Fatal("nil tracer root must be disabled")
+	}
+	sp := tc.Start("x")
+	if sp != nil {
+		t.Fatal("disabled Start must return nil")
+	}
+	// Every nil-span method no-ops.
+	sp.SetEpoch(1).SetSeq(2).SetShard(3).Attr("k", "v").Finish()
+	if sp.Ctx().Enabled() {
+		t.Fatal("nil span ctx must be disabled")
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines (the
+// -race test for the ring and the shared span-id allocator).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(conn int64) {
+			defer wg.Done()
+			tc := tr.Root(TraceID{Conn: conn})
+			for i := 0; i < 500; i++ {
+				sp := tc.Start(SpanReq)
+				child := sp.Ctx().Start(SpanApply)
+				child.Finish()
+				sp.Finish()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if tr.Total() != 8*500*2 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*500*2)
+	}
+	// Span ids within one trace must be unique (shared atomic counter).
+	seen := map[TraceID]map[int32]bool{}
+	for _, s := range tr.Spans(0) {
+		m := seen[s.Trace]
+		if m == nil {
+			m = map[int32]bool{}
+			seen[s.Trace] = m
+		}
+		if m[s.ID] {
+			t.Fatalf("duplicate span id %d in trace %+v", s.ID, s.Trace)
+		}
+		m[s.ID] = true
+	}
+}
+
+// TestAppendTraceID pins the rendered trace-id format, including the
+// negative-conn form used by detached actors (shard pumps).
+func TestAppendTraceID(t *testing.T) {
+	if got := string(appendTraceID(nil, TraceID{Conn: 12, Seq: 34})); got != "c12-34" {
+		t.Fatalf("got %q", got)
+	}
+	if got := string(appendTraceID(nil, TraceID{Conn: -3, Seq: 0})); got != "c-3-0" {
+		t.Fatalf("got %q", got)
+	}
+}

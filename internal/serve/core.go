@@ -37,6 +37,13 @@ type Options struct {
 	// Reg, when non-nil, receives the srv.* metrics (see
 	// internal/obs names.go).
 	Reg *obs.Registry
+	// Tracer, when non-nil, records request-scoped spans: srv.req per
+	// request with srv.queue_wait/srv.apply/srv.commit (writes),
+	// srv.render (reads) and coord.fence (read-your-writes waits)
+	// children, reaching into incr.apply. A deterministic tracer
+	// suppresses wall-clock fields, so serial single-connection
+	// sessions produce byte-identical span streams (DESIGN.md §13).
+	Tracer *obs.Tracer
 }
 
 func (o Options) writeQueue() int {
@@ -71,6 +78,13 @@ type writeTask struct {
 	resp chan Response
 	done chan struct{}
 	enq  time.Time // zero when metrics are disabled
+	// span is the request's srv.req span (nil when tracing is off);
+	// the writer finishes it before completing the response, so a
+	// serially driven session records spans in a deterministic order.
+	// qspan is the srv.queue_wait child, open from enqueue to writer
+	// pickup.
+	span  *obs.ActiveSpan
+	qspan *obs.ActiveSpan
 }
 
 // epochState is one published epoch plus its render cache. Epochs
@@ -138,19 +152,31 @@ type Core struct {
 	done   chan struct{}
 	closed sync.Once
 
-	reg       *obs.Registry
-	requests  *obs.Counter
-	reads     *obs.Counter
-	writes    *obs.Counter
-	errors    *obs.Counter
-	commits   *obs.Counter
-	snapshots *obs.Counter
-	conns     *obs.Counter
-	epochG    *obs.Gauge
-	batchH    *obs.Histogram
-	queueH    *obs.Histogram
-	readNs    *obs.Histogram
-	writeNs   *obs.Histogram
+	// connSeq hands out serving-connection ids — the Conn half of
+	// every request TraceID, so trace ids are positional, never random.
+	connSeq atomic.Int64
+
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	requests   *obs.Counter
+	reads      *obs.Counter
+	writes     *obs.Counter
+	errors     *obs.Counter
+	commits    *obs.Counter
+	snapshots  *obs.Counter
+	conns      *obs.Counter
+	coordFence *obs.Counter
+	epochG     *obs.Gauge
+	lastCommit *obs.Gauge
+	batchH     *obs.Histogram
+	queueH     *obs.Histogram
+	readNs     *obs.LatencyHist
+	writeNs    *obs.LatencyHist
+	queueNs    *obs.LatencyHist
+	applyNs    *obs.LatencyHist
+	commitNs   *obs.LatencyHist
+	renderNs   *obs.LatencyHist
+	fenceNs    *obs.LatencyHist
 }
 
 // NewCore wraps the materialization in a serving core, publishes the
@@ -164,19 +190,27 @@ func NewCore(m *incr.Materialization, opts Options) *Core {
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 
-		reg:       opts.Reg,
-		requests:  opts.Reg.Counter(obs.SrvRequests),
-		reads:     opts.Reg.Counter(obs.SrvReads),
-		writes:    opts.Reg.Counter(obs.SrvWrites),
-		errors:    opts.Reg.Counter(obs.SrvErrors),
-		commits:   opts.Reg.Counter(obs.SrvCommits),
-		snapshots: opts.Reg.Counter(obs.SrvSnapshots),
-		conns:     opts.Reg.Counter(obs.SrvConns),
-		epochG:    opts.Reg.Gauge(obs.SrvEpoch),
-		batchH:    opts.Reg.Histogram(obs.SrvBatchWrites),
-		queueH:    opts.Reg.Histogram(obs.SrvQueueDepth),
-		readNs:    opts.Reg.Histogram(obs.SrvReadNs),
-		writeNs:   opts.Reg.Histogram(obs.SrvWriteNs),
+		reg:        opts.Reg,
+		tracer:     opts.Tracer,
+		requests:   opts.Reg.Counter(obs.SrvRequests),
+		reads:      opts.Reg.Counter(obs.SrvReads),
+		writes:     opts.Reg.Counter(obs.SrvWrites),
+		errors:     opts.Reg.Counter(obs.SrvErrors),
+		commits:    opts.Reg.Counter(obs.SrvCommits),
+		snapshots:  opts.Reg.Counter(obs.SrvSnapshots),
+		conns:      opts.Reg.Counter(obs.SrvConns),
+		coordFence: opts.Reg.Counter(obs.CoordFenceWaits),
+		epochG:     opts.Reg.Gauge(obs.SrvEpoch),
+		lastCommit: opts.Reg.Gauge(obs.SrvLastCommitUnixNs),
+		batchH:     opts.Reg.Histogram(obs.SrvBatchWrites),
+		queueH:     opts.Reg.Histogram(obs.SrvQueueDepth),
+		readNs:     opts.Reg.Latency(obs.SrvReadNs),
+		writeNs:    opts.Reg.Latency(obs.SrvWriteNs),
+		queueNs:    opts.Reg.Latency(obs.SrvQueueWaitNs),
+		applyNs:    opts.Reg.Latency(obs.SrvApplyNs),
+		commitNs:   opts.Reg.Latency(obs.SrvCommitNs),
+		renderNs:   opts.Reg.Latency(obs.SrvRenderNs),
+		fenceNs:    opts.Reg.Latency(obs.SrvFenceWaitNs),
 	}
 	c.publish()
 	go c.writer()
@@ -212,6 +246,9 @@ func (c *Core) publish() {
 	e := c.m.Epoch()
 	c.epoch.Store(&epochState{ep: e, cache: make(map[string][]string), resps: make(map[string]Response)})
 	c.epochG.Set(int64(e.Seq()))
+	if c.reg != nil {
+		c.lastCommit.Set(time.Now().UnixNano())
+	}
 }
 
 // writer is the single mutation loop: it drains the write queue in
@@ -230,6 +267,8 @@ func (c *Core) writer() {
 			for {
 				select {
 				case t := <-c.writeq:
+					t.qspan.Finish()
+					t.span.Finish()
 					t.resp <- errResp("server closed")
 					close(t.done)
 				default:
@@ -257,6 +296,10 @@ drain:
 	resps := make([]Response, len(batch))
 	writes := 0
 	for i, t := range batch {
+		t.qspan.Finish()
+		if !t.enq.IsZero() {
+			c.queueNs.Observe(time.Since(t.enq).Nanoseconds())
+		}
 		if t.req.Op == "snapshot" {
 			// Commit barrier: everything applied so far in this batch
 			// becomes visible first, then the snapshot captures exactly
@@ -265,10 +308,32 @@ drain:
 			resps[i] = c.doSnapshot(t.req)
 			continue
 		}
-		resps[i] = c.applyWrite(t.req)
+		as := t.span.Ctx().Start(obs.SpanApply)
+		var astart time.Time
+		if c.reg != nil {
+			astart = time.Now()
+		}
+		resps[i] = c.applyWrite(t.req, as.Ctx())
+		if !astart.IsZero() {
+			c.applyNs.Observe(time.Since(astart).Nanoseconds())
+		}
+		as.SetSeq(c.m.Seq()).Finish()
 		writes++
 	}
+	// The commit span is parented to the batch leader's trace: group
+	// commit is one shared barrier, attributed to the request that
+	// opened the batch.
+	cs := first.span.Ctx().Start(obs.SpanCommit)
+	var cstart time.Time
+	if c.reg != nil {
+		cstart = time.Now()
+	}
 	c.publish()
+	if !cstart.IsZero() {
+		c.commitNs.Observe(time.Since(cstart).Nanoseconds())
+	}
+	epochSeq := c.epoch.Load().ep.Seq()
+	cs.SetEpoch(epochSeq).Attr("writes", writes).Finish()
 	c.commits.Inc()
 	c.batchH.Observe(int64(writes))
 
@@ -276,6 +341,10 @@ drain:
 		if !resps[i].OK {
 			c.errors.Inc()
 		}
+		// Finish the request span before completing the response, so a
+		// serial session's span stream is deterministic: the client
+		// cannot observe the response until its spans are recorded.
+		t.span.SetEpoch(epochSeq).Finish()
 		t.resp <- resps[i]
 		close(t.done)
 		if !t.enq.IsZero() {
@@ -285,8 +354,9 @@ drain:
 }
 
 // applyWrite validates and applies one mutating op against the
-// materialization. Runs only on the writer goroutine.
-func (c *Core) applyWrite(req Request) Response {
+// materialization. Runs only on the writer goroutine. tc nests the
+// incr.apply span under the request's srv.apply span.
+func (c *Core) applyWrite(req Request, tc obs.SpanCtx) Response {
 	var d incr.Delta
 	var err error
 	switch req.Op {
@@ -304,7 +374,7 @@ func (c *Core) applyWrite(req Request) Response {
 	if err != nil {
 		return errResp("bad fact: %v", err)
 	}
-	st, err := c.m.Apply(d)
+	st, err := c.m.ApplyTraced(d, tc)
 	if err != nil {
 		return errResp("%v", err)
 	}
@@ -370,7 +440,12 @@ func (c *Core) snapshotPath(p string) (string, error) {
 // its own writes even when it pipelines queries behind mutations.
 // dispatch returns the fence later requests on the connection should
 // carry — the new write's, or the caller's unchanged.
-func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}) <-chan struct{} {
+//
+// span, when non-nil, is the request's srv.req span. dispatch owns
+// it from here: phase spans nest under it and it is finished before
+// the response is delivered, so a serially driven session observes a
+// deterministic span stream.
+func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}, span *obs.ActiveSpan) <-chan struct{} {
 	switch {
 	case isReadOp(req.Op):
 		c.reads.Inc()
@@ -390,15 +465,28 @@ func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}) <-
 			// Fast path: no same-connection write outstanding, so the
 			// read runs inline on the session goroutine — no spawn, no
 			// handoff. The common case on read-heavy streams.
-			ch <- c.readAt(c.epoch.Load(), req)
+			ch <- c.readAt(c.epoch.Load(), req, span)
 			if !start.IsZero() {
 				c.readNs.Observe(time.Since(start).Nanoseconds())
 			}
 			return fence
 		}
 		go func() {
-			<-fence // read-your-writes: pin only after the write's epoch publishes
-			ch <- c.readAt(c.epoch.Load(), req)
+			// Read-your-writes: pin only after the write's epoch
+			// publishes. The wait is coordination — count it and span
+			// it as coord.fence.
+			fsp := span.Ctx().Start(obs.SpanCoordFence)
+			var fstart time.Time
+			if c.reg != nil {
+				fstart = time.Now()
+			}
+			<-fence
+			fsp.Finish()
+			c.coordFence.Inc()
+			if !fstart.IsZero() {
+				c.fenceNs.Observe(time.Since(fstart).Nanoseconds())
+			}
+			ch <- c.readAt(c.epoch.Load(), req, span)
 			if !start.IsZero() {
 				c.readNs.Observe(time.Since(start).Nanoseconds())
 			}
@@ -407,14 +495,17 @@ func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}) <-
 
 	case isWriteOp(req.Op):
 		c.writes.Inc()
-		t := &writeTask{req: req, resp: ch, done: make(chan struct{})}
+		t := &writeTask{req: req, resp: ch, done: make(chan struct{}), span: span}
 		if c.reg != nil {
 			t.enq = time.Now()
 		}
+		t.qspan = span.Ctx().Start(obs.SpanQueueWait)
 		select {
 		case c.writeq <- t:
 		case <-c.quit:
 			c.errors.Inc()
+			t.qspan.Finish()
+			span.Finish()
 			ch <- errResp("server closed")
 			close(t.done)
 		}
@@ -422,18 +513,32 @@ func (c *Core) dispatch(req Request, ch chan Response, fence <-chan struct{}) <-
 
 	default:
 		c.errors.Inc()
+		span.Finish()
 		ch <- errResp("unknown op %q", req.Op)
 		return fence
 	}
 }
 
 // readAt answers one read op against a pinned epoch state, serving
-// memoized responses from the epoch's render cache.
-func (c *Core) readAt(es *epochState, req Request) Response {
+// memoized responses from the epoch's render cache. The render phase
+// is recorded as a srv.render child span; the request span finishes
+// here, before the response is delivered.
+func (c *Core) readAt(es *epochState, req Request, span *obs.ActiveSpan) Response {
+	rs := span.Ctx().Start(obs.SpanRender)
+	var rstart time.Time
+	if c.reg != nil {
+		rstart = time.Now()
+	}
 	resp := es.respond(req)
 	if !resp.OK {
 		c.errors.Inc()
 	}
+	if !rstart.IsZero() {
+		c.renderNs.Observe(time.Since(rstart).Nanoseconds())
+	}
+	seq := es.ep.Seq()
+	rs.SetEpoch(seq).Finish()
+	span.SetEpoch(seq).Finish()
 	return resp
 }
 
@@ -442,7 +547,7 @@ func (c *Core) readAt(es *epochState, req Request) Response {
 // harness drives it; sessions use the pipelined loop in session.go).
 func (c *Core) HandleLine(line []byte) Response {
 	ch := make(chan Response, 1)
-	c.decodeAndDispatch(line, ch, nil)
+	c.decodeAndDispatch(line, ch, nil, nil)
 	return <-ch
 }
 
@@ -452,7 +557,17 @@ func (c *Core) HandleLine(line []byte) Response {
 // Do(write) before Do(read) always reads its own write. The cluster
 // layer's delta pumps and gather paths are built on this entry point.
 func (c *Core) Do(req Request) Response {
+	return c.DoCtx(req, obs.SpanCtx{})
+}
+
+// DoCtx is Do with a trace context: the request is recorded as a
+// srv.req span under tc, with the usual phase children. The cluster's
+// shard pumps use it so a delivery traces through the core it lands
+// on.
+func (c *Core) DoCtx(req Request, tc obs.SpanCtx) Response {
 	ch := make(chan Response, 1)
-	c.dispatch(req, ch, nil)
+	sp := tc.Start(obs.SpanReq)
+	sp.Attr("op", req.Op)
+	c.dispatch(req, ch, nil, sp)
 	return <-ch
 }

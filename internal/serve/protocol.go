@@ -93,6 +93,14 @@ type ClusterBody struct {
 	// Affinity is the shard this connection's reads route to in
 	// replicated mode (-1 when reads gather from all shards).
 	Affinity int `json:"affinity"`
+	// Applied[j] is shard j's serving core's published epoch sequence
+	// — the live applied-epoch view (/healthz exposes the same data).
+	Applied []int `json:"applied,omitempty"`
+	// Held[j] counts fault-held deliveries parked on shard j.
+	Held []int `json:"held,omitempty"`
+	// Lag[j] is shard j's pump lag in log entries: log length minus
+	// its watermark.
+	Lag []int `json:"lag,omitempty"`
 }
 
 // StatsBody is the stats op response payload, read from one epoch.

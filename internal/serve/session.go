@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // This file is the per-connection request loop. One Serve call runs
@@ -38,15 +40,22 @@ const maxLine = 16 * 1024 * 1024
 // response is delivered to ch (1-buffered) exactly once. fence is the
 // connection's current write fence; the returned channel is the fence
 // the next request on the connection should carry (see dispatch).
-func (c *Core) decodeAndDispatch(line []byte, ch chan Response, fence <-chan struct{}) <-chan struct{} {
+// span, when non-nil, is the request's srv.req span — stamped with
+// the decoded op here, finished by dispatch.
+func (c *Core) decodeAndDispatch(line []byte, ch chan Response, fence <-chan struct{}, span *obs.ActiveSpan) <-chan struct{} {
 	c.requests.Inc()
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
 		c.errors.Inc()
+		span.Attr("op", "?").Finish()
 		ch <- errResp("bad request: %v", err)
 		return fence
 	}
-	return c.dispatch(req, ch, fence)
+	span.Attr("op", req.Op)
+	if req.Rel != "" {
+		span.Attr("rel", req.Rel)
+	}
+	return c.dispatch(req, ch, fence, span)
 }
 
 // Serve runs the pipelined request loop until EOF, answering every
@@ -94,6 +103,12 @@ func (c *Core) Serve(r io.Reader, w io.Writer) error {
 		werr <- failed
 	}()
 
+	// Trace identity: connection ids are allocated positionally, and
+	// each request's TraceID is (conn, line number) — never random, so
+	// equal serial sessions produce equal trace ids (DESIGN.md §13).
+	connID := c.connSeq.Add(1)
+	var reqSeq int64
+
 	var fence <-chan struct{} // last write on this connection (read-your-writes)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -102,7 +117,12 @@ func (c *Core) Serve(r io.Reader, w io.Writer) error {
 		}
 		ch := make(chan Response, 1)
 		pending <- ch // reserve the ordering slot; blocks at the pipeline bound
-		fence = c.decodeAndDispatch(line, ch, fence)
+		reqSeq++
+		var span *obs.ActiveSpan
+		if c.tracer != nil {
+			span = c.tracer.Root(obs.TraceID{Conn: connID, Seq: reqSeq}).Start(obs.SpanReq)
+		}
+		fence = c.decodeAndDispatch(line, ch, fence, span)
 	}
 	scanErr := sc.Err()
 	if scanErr != nil {

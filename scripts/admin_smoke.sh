@@ -1,0 +1,111 @@
+#!/bin/sh
+# admin_smoke.sh boots a sharded calmd with the admin endpoint on a
+# loopback port, pushes a few protocol lines through it, then curls
+# /metrics, /healthz, and /trace and greps for the metric families the
+# observability stack must expose: srv_* serving-core phases,
+# cluster_* gather/pump telemetry, coord_* coordination-budget
+# counters, and the epoch-age scrape gauge. Exits non-zero if the
+# daemon fails to come up, an endpoint misbehaves, or a family is
+# missing — the CI-enforced contract for the admin surface.
+# Usage: scripts/admin_smoke.sh  (or: make admin-smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+port=14471
+admin_port=14472
+log=$(mktemp)
+pidfile=$(mktemp)
+trap 'kill "$(cat "$pidfile")" 2>/dev/null || true; rm -f "$log" "$pidfile"' EXIT
+
+go build -o /tmp/calmd-smoke ./cmd/calmd
+/tmp/calmd-smoke -program testdata/qtc.dl -input testdata/graph.facts \
+    -shards 2 -listen "127.0.0.1:$port" -admin "127.0.0.1:$admin_port" \
+    >"$log" 2>&1 &
+echo $! >"$pidfile"
+
+# Wait for both listeners.
+i=0
+until curl -sf "http://127.0.0.1:$admin_port/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "admin_smoke: daemon did not come up; log:"
+        cat "$log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Drive a little traffic so phase histograms and spans have data:
+# writes (log append + pump delivery), reads, and the cluster op.
+python3 - "$port" <<'EOF'
+import json, socket, sys
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=5)
+lines = [
+    {"op": "insert", "facts": ["E(s1,s2)", "E(s2,s3)"]},
+    {"op": "query", "rel": "T"},
+    {"op": "stats"},
+    {"op": "cluster"},
+]
+payload = "".join(json.dumps(l) + "\n" for l in lines)
+s.sendall(payload.encode())
+s.shutdown(socket.SHUT_WR)
+resp = b""
+while True:
+    b = s.recv(65536)
+    if not b:
+        break
+    resp += b
+got = [json.loads(l) for l in resp.decode().splitlines() if l]
+assert len(got) == len(lines), f"{len(got)} responses for {len(lines)} requests: {resp!r}"
+assert all(r.get("ok") for r in got), f"error response: {got}"
+cl = got[-1]["cluster"]
+for key in ("applied", "held", "lag", "watermarks"):
+    assert key in cl and len(cl[key]) == cl["shards"], f"cluster body missing live {key}: {cl}"
+print("admin_smoke: protocol + cluster body OK")
+EOF
+
+metrics=$(curl -sf "http://127.0.0.1:$admin_port/metrics")
+for family in \
+    srv_requests srv_read_ns srv_write_ns srv_queue_wait_ns srv_apply_ns \
+    srv_commit_ns srv_render_ns srv_epoch_age_ns \
+    cluster_writes cluster_log_append_ns cluster_delivery_lag_ns \
+    cluster_pump_lag cluster_held_deliveries \
+    coord_fence_waits coord_hold_flushes coord_migrations coord_fenced_reads; do
+    if ! printf '%s\n' "$metrics" | grep -q "^$family"; then
+        echo "admin_smoke: /metrics missing family $family; got:"
+        printf '%s\n' "$metrics" | head -60
+        exit 1
+    fi
+done
+# Quantile gauges from the latency-histogram plane.
+if ! printf '%s\n' "$metrics" | grep -q 'srv_read_ns_quantile{q="0.99"}'; then
+    echo "admin_smoke: /metrics missing srv_read_ns quantiles"
+    exit 1
+fi
+echo "admin_smoke: /metrics families OK"
+
+health=$(curl -sf "http://127.0.0.1:$admin_port/healthz")
+for key in '"ok":true' '"mode":"cluster"' '"shards":2' '"health":' '"epoch_age_ns"'; do
+    if ! printf '%s' "$health" | grep -q "$key"; then
+        echo "admin_smoke: /healthz missing $key: $health"
+        exit 1
+    fi
+done
+echo "admin_smoke: /healthz OK ($health)"
+
+traces=$(curl -sf "http://127.0.0.1:$admin_port/trace?n=200")
+for span in srv.req cluster.log_append cluster.deliver; do
+    if ! printf '%s\n' "$traces" | grep -q "\"span\":\"$span\""; then
+        echo "admin_smoke: /trace missing span $span; got:"
+        printf '%s\n' "$traces" | head -20
+        exit 1
+    fi
+done
+echo "admin_smoke: /trace spans OK"
+
+curl -sf "http://127.0.0.1:$admin_port/debug/pprof/cmdline" >/dev/null
+echo "admin_smoke: /debug/pprof OK"
+
+echo "admin_smoke: PASS"

@@ -7,11 +7,13 @@
 # that produced them (BENCH_PR<n>.json); BENCH_PR7.json is the
 # concurrent-serving snapshot, whose CalmloadSerial/CalmloadPipelined
 # rows carry the pipelined-vs-serial speedup gate (EXPERIMENTS.md
-# PERF.7), and BENCH_PR8.json is the sharded-cluster snapshot, whose
+# PERF.7), BENCH_PR8.json is the sharded-cluster snapshot, whose
 # CalmloadShards<n> rows carry the shard-scaling gate (EXPERIMENTS.md
-# PERF.8):
+# PERF.8), and BENCH_PR9.json is the observability snapshot, whose
+# GatherPhases/GatherBaseline rows attribute the router-gather
+# slowdown into fanout/merge/render phases (EXPERIMENTS.md PERF.9):
 #
-#	scripts/bench.sh BENCH_PR8.json
+#	scripts/bench.sh BENCH_PR9.json
 #
 # Usage: scripts/bench.sh [out.json]   (default: stdout)
 # Env:   BENCHTIME          per-benchmark time or count (default 0.5s)
@@ -32,6 +34,14 @@ go test -run '^$' -bench 'BenchmarkIncr' \
     -benchtime "$benchtime" ./internal/incr/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPinnedReads|BenchmarkColdReads|BenchmarkWriteCommit|BenchmarkEpochPublish' \
     -benchtime "$benchtime" ./internal/serve/ >>"$tmp"
+
+# Gather-phase rows (EXPERIMENTS.md PERF.9): the partitioned
+# scatter/gather read path through the router wire loop, with mean
+# per-phase attribution (fanout-ns, merge-ns, render-ns) reported from
+# the cluster's latency histograms, against the single-shard baseline
+# on the same chain and query.
+go test -run '^$' -bench 'BenchmarkGatherPhases|BenchmarkGatherBaseline' \
+    -benchtime "$benchtime" ./internal/cluster/ >>"$tmp"
 
 # calmload end-to-end rows: the serial single-connection ping-pong
 # baseline and the pipelined multi-connection run on the read-heavy

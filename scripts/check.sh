@@ -6,8 +6,8 @@
 # serving, and cluster packages additionally run twice under -race
 # (-count=2 defeats the test cache and catches order-dependent state),
 # internal/transducer coverage is gated at its pre-fault-layer
-# baseline (84.0%), internal/obs, internal/serve, and
-# internal/cluster at 80.0%, and the
+# baseline (84.0%), internal/obs, internal/serve, internal/cluster,
+# and internal/admin at 80.0%, and the
 # instrumentation's disabled (nil) fast path is benchmarked against a
 # bare workload so "tracing off" stays ~free.
 # Usage: scripts/check.sh  (or: make check)
@@ -47,6 +47,7 @@ coverage_gate ./internal/transducer/ 84.0
 coverage_gate ./internal/obs/ 80.0
 coverage_gate ./internal/serve/ 80.0
 coverage_gate ./internal/cluster/ 80.0
+coverage_gate ./internal/admin/ 80.0
 
 # Disabled-instrumentation overhead gate: the nil-receiver/nil-sink
 # fast path must stay within noise of the bare workload. "disabled"

@@ -1,0 +1,54 @@
+#!/bin/sh
+# trace_demo.sh is a 10-second tour of the tracing plane: it boots a
+# sharded calmd with -admin, pushes a small write/read mix through the
+# router, and prints the resulting spans from /trace — one JSONL line
+# per finished span, showing trace ids (c<conn>-<seq>, positional, not
+# random), parent/child nesting (srv.req → cluster.log_append,
+# cluster.gather → fanout/merge), logical timestamps (epoch/seq/shard),
+# and the coord.* spans that mark coordination events.
+# Usage: scripts/trace_demo.sh  (or: make trace-demo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+port=14481
+admin_port=14482
+log=$(mktemp)
+pidfile=$(mktemp)
+trap 'kill "$(cat "$pidfile")" 2>/dev/null || true; rm -f "$log" "$pidfile"' EXIT
+
+go build -o /tmp/calmd-demo ./cmd/calmd
+/tmp/calmd-demo -program testdata/qtc.dl -input testdata/graph.facts \
+    -shards 2 -listen "127.0.0.1:$port" -admin "127.0.0.1:$admin_port" \
+    >"$log" 2>&1 &
+echo $! >"$pidfile"
+
+i=0
+until curl -sf "http://127.0.0.1:$admin_port/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "trace_demo: daemon did not come up"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+
+python3 - "$port" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=5)
+for l in [
+    {"op": "insert", "facts": ["E(d1,d2)", "E(d2,d3)"]},
+    {"op": "query", "rel": "T"},
+    {"op": "retract", "facts": ["E(d1,d2)"]},
+    {"op": "stats"},
+]:
+    s.sendall((json.dumps(l) + "\n").encode())
+s.shutdown(socket.SHUT_WR)
+while s.recv(65536):
+    pass
+EOF
+
+echo "== spans from /trace?n=40 (newest-first ring, JSONL) =="
+curl -sf "http://127.0.0.1:$admin_port/trace?n=40"
+echo "== live health =="
+curl -sf "http://127.0.0.1:$admin_port/healthz"
+echo
+echo "== coordination budget =="
+curl -sf "http://127.0.0.1:$admin_port/metrics" | grep '^coord_' || true
