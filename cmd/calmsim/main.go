@@ -14,6 +14,16 @@
 //	calmsim -query noloop -strategy absence -faults random -seed 7
 //	calmsim -query qtc -strategy domainreq -seeds 500
 //	calmsim -query tc -strategy broadcast -trace run.jsonl -metrics metrics.json
+//	calmsim -query tc -strategy gossip -topology ring -nodes 100 -routing neighbors
+//	calmsim -query tc -strategy gossip -topology powerlaw -nodes 1000 -routing neighbors -seeds 20
+//	calmsim -query tc -strategy gossip -topology wan -nodes 256 -routing neighbors -faults random -seed 3
+//
+// With -topology the run switches to the event-driven large-network
+// engine (internal/netsim): nodes are generated from the seeded
+// topology catalog (ring | star | tree | powerlaw | wan), -nodes
+// scales to 10^2–10^4, and -routing picks between broadcast links and
+// topology-neighbor links (neighbors needs the gossip strategy to
+// converge, since facts then travel hop by hop).
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/fact"
 	"repro/internal/generate"
 	"repro/internal/monotone"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/transducer"
@@ -35,8 +46,10 @@ import (
 func main() {
 	var (
 		queryName = flag.String("query", "tc", "query: tc | qtc | noloop | winmove | winmove3v | triangles | clique:K | star:K | duplicate:J")
-		strat     = flag.String("strategy", "broadcast", "strategy: broadcast | absence | domainreq")
+		strat     = flag.String("strategy", "broadcast", "strategy: broadcast | gossip | absence | domainreq")
 		nodes     = flag.Int("nodes", 3, "number of network nodes")
+		topology  = flag.String("topology", "", "generate the network from the topology catalog: ring | star | tree | powerlaw | wan (enables the event-driven engine; seeded by -seed)")
+		routing   = flag.String("routing", "broadcast", "message routing on a generated topology: broadcast | neighbors (neighbors wants -strategy gossip)")
 		policy    = flag.String("policy", "", "policy: hash | firstattr | guided | onenode (default: guided for domainreq, hash otherwise)")
 		inputPath = flag.String("input", "", "input instance file (default: a built-in demo instance)")
 		seed      = flag.Int64("seed", 0, "seed for every random choice (random scheduler prefix, -faults random, -seeds sweep base); 0 means no random prefix")
@@ -72,11 +85,11 @@ func main() {
 		}
 	}
 
-	ids := make([]transducer.NodeID, *nodes)
-	for k := range ids {
-		ids[k] = transducer.NodeID(fmt.Sprintf("n%d", k+1))
+	net, topo, err := buildNetwork(*topology, *nodes, *seed)
+	if err != nil {
+		fatal(err)
 	}
-	net, err := transducer.NewNetwork(ids...)
+	route, err := netsim.ParseRouting(*routing)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,16 +121,23 @@ func main() {
 
 	fmt.Printf("query    : %s\n", q.Name())
 	fmt.Printf("strategy : %v (class %v)\n", s, s.Class())
-	fmt.Printf("network  : %v\n", net)
+	if topo != nil {
+		fmt.Printf("topology : %v nodes=%d edges=%d clusters=%d routing=%v (seed %d)\n",
+			topo.Kind, topo.Len(), topo.NumEdges(), topo.Clusters(), route, *seed)
+	} else {
+		fmt.Printf("network  : %v\n", net)
+	}
 	fmt.Printf("policy   : %s\n", polName)
 	if plan != nil {
 		fmt.Printf("faults   : %v (seed %d)\n", plan, *seed)
 	}
 	fmt.Printf("input    : %v\n\n", input)
 
-	frags := transducer.Dist(pol, net, input)
-	for _, x := range net {
-		fmt.Printf("fragment at %s: %v\n", x, frags[x])
+	if len(net) <= 12 {
+		frags := transducer.Dist(pol, net, input)
+		for _, x := range net {
+			fmt.Printf("fragment at %s: %v\n", x, frags[x])
+		}
 	}
 
 	var reg *obs.Registry
@@ -126,6 +146,13 @@ func main() {
 	}
 	startAdmin(*pprofAddr, reg)
 	sink, closeSink := openTrace(*tracePath)
+
+	if topo != nil {
+		runEventEngine(topo, route, s, q, net, pol, input, plan, sink, reg, *seed, *seeds)
+		closeSink()
+		writeMetrics(reg, *metrics)
+		return
+	}
 
 	cfg := core.RunConfig{Plan: plan, Sink: sink, Reg: reg}
 	if plan == nil && *seed != 0 {
@@ -280,12 +307,105 @@ func lookupStrategy(name string) (core.Strategy, error) {
 	switch name {
 	case "broadcast":
 		return core.Broadcast, nil
+	case "gossip":
+		return core.Gossip, nil
 	case "absence":
 		return core.Absence, nil
 	case "domainreq":
 		return core.DomainRequest, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// buildNetwork resolves the -topology / -nodes pair: with no topology
+// the classic flat n1..nN network, otherwise a seeded catalog
+// topology whose zero-padded node ids double as the network.
+func buildNetwork(topology string, nodes int, seed int64) (transducer.Network, *generate.Topology, error) {
+	if topology == "" {
+		ids := make([]transducer.NodeID, nodes)
+		for k := range ids {
+			ids[k] = transducer.NodeID(fmt.Sprintf("n%d", k+1))
+		}
+		net, err := transducer.NewNetwork(ids...)
+		return net, nil, err
+	}
+	kind, err := generate.ParseTopoKind(topology)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := generate.NewTopology(kind, nodes, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return netsim.NetworkOf(topo), topo, nil
+}
+
+// runEventEngine drives one event-driven run (and optionally a seeded
+// topology fault sweep) on the netsim engine — the -topology path.
+func runEventEngine(topo *generate.Topology, route netsim.Routing, s core.Strategy, q monotone.Query,
+	net transducer.Network, pol transducer.Policy, input *fact.Instance, plan *transducer.FaultPlan,
+	sink *obs.Sink, reg *obs.Registry, seed int64, seeds int) {
+	tr, err := core.Build(s, q)
+	if err != nil {
+		fatal(err)
+	}
+	want, err := q.Eval(input)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := netsim.New(net, tr, pol, s.RequiredModel(), input, netsim.Options{
+		Topo: topo, Routing: route, Seed: seed, Want: want,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sim.Observe(sink)
+	if plan != nil {
+		sim.SetFaults(plan)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		fatal(err)
+	}
+	sim.PublishTo(reg)
+
+	m := sim.RunMetrics()
+	fmt.Printf("\nevents: %d (sched ops %d, heap max %d), quiesced at t=%d\n",
+		sim.Events(), sim.SchedOps(), sim.HeapMax(), sim.Now())
+	fmt.Printf("transitions: %d (heartbeats %d), messages sent: %d, delivered: %d\n",
+		m.Transitions, m.Heartbeats, m.MessagesSent, m.MessagesDelivered)
+	if plan != nil {
+		fmt.Printf("faults: duplicated %d, delayed %d, dropped %d, retransmitted %d, crashes %d, stalled steps %d\n",
+			m.MessagesDuplicated, m.MessagesDelayed, m.MessagesDropped,
+			m.MessagesRetransmitted, m.Crashes, m.StalledSteps)
+	}
+	if !sim.Conserved() {
+		fmt.Println("WARNING: message conservation broken (engine bug)")
+	}
+	fmt.Printf("distributed output: %d facts, central: %d facts\n", out.Len(), want.Len())
+	if out.Equal(want) {
+		fmt.Println("CONSISTENT: distributed run equals centralized evaluation")
+	} else {
+		fmt.Println("INCONSISTENT: the query is outside the strategy's class, or a bug")
+	}
+
+	if seeds > 0 {
+		opts := netsim.SweepOptions{Seeds: seeds, Faults: core.FaultConfigFor(s), Sink: sink}
+		if seed != 0 {
+			opts.BaseSeed = seed
+		}
+		v, stats, err := netsim.Sweep(topo, route, tr, pol, s.RequiredModel(), input, want, opts)
+		if err != nil {
+			fatal(err)
+		}
+		stats.Publish(reg)
+		if v == nil {
+			fmt.Printf("sweep: %d event runs clean (%d events, %d sched ops, heap max %d)\n",
+				stats.Runs, stats.Events, stats.SchedOps, stats.HeapMax)
+		} else {
+			fmt.Printf("sweep: VIOLATION after %d runs: %v\n", stats.Runs, v)
+		}
 	}
 }
 

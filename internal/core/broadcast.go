@@ -65,3 +65,75 @@ func buildBroadcast(q monotone.Query, in, out fact.Schema) (*transducer.Transduc
 	}
 	return t, nil
 }
+
+// buildGossip constructs the epidemic variant of the F0 strategy
+// (still class M, still oblivious): a node forwards its local input
+// fragment like Broadcast does, and additionally relays every fact it
+// receives, exactly once. Under all-to-all delivery the relays are
+// redundant and the strategy behaves like Broadcast with extra
+// traffic; under hop-by-hop neighbor routing they are what carries a
+// fact across the graph, so every node still converges to Q(I) on any
+// connected topology. Soundness is unchanged — outputs are partial
+// evaluations of a monotone query on true input facts.
+func buildGossip(q monotone.Query, in, out fact.Schema) (*transducer.Transducer, error) {
+	msg := make(fact.Schema)
+	mem := make(fact.Schema)
+	for rel, ar := range in {
+		msg[relFwd(rel)] = ar
+		mem[relGot(rel)] = ar
+		mem[relSent(rel)] = ar
+	}
+	sch := transducer.Schema{In: in, Out: out, Msg: msg, Mem: mem}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+
+	t := &transducer.Transducer{
+		Schema: sch,
+		Out: func(d *fact.Instance) (*fact.Instance, error) {
+			k := knownFacts(d, in)
+			res, err := q.Eval(k)
+			if err != nil {
+				return nil, fmt.Errorf("core: gossip strategy evaluating %s: %w", q.Name(), err)
+			}
+			return res, nil
+		},
+		Ins: func(d *fact.Instance) (*fact.Instance, error) {
+			ins := fact.NewInstance()
+			for rel := range in {
+				// Persist facts delivered this transition, and mark
+				// them sent — Snd relays them in this same transition.
+				for _, f := range d.Rel(relFwd(rel)) {
+					ins.Add(fact.FromTuple(relGot(rel), f.Args()))
+					ins.Add(fact.FromTuple(relSent(rel), f.Args()))
+				}
+				// Mark local facts as forwarded.
+				for _, f := range d.Rel(rel) {
+					ins.Add(fact.FromTuple(relSent(rel), f.Args()))
+				}
+			}
+			return ins, nil
+		},
+		Snd: func(d *fact.Instance) (*fact.Instance, error) {
+			snd := fact.NewInstance()
+			for rel := range in {
+				// Forward local facts and relay freshly delivered ones;
+				// relSent suppresses both kinds after the first send.
+				// (Facts stored in relGot were relFwd in an earlier
+				// transition and were relayed and marked sent then.)
+				for _, f := range d.Rel(rel) {
+					if !d.Has(fact.FromTuple(relSent(rel), f.Args())) {
+						snd.Add(fact.FromTuple(relFwd(rel), f.Args()))
+					}
+				}
+				for _, f := range d.Rel(relFwd(rel)) {
+					if !d.Has(fact.FromTuple(relSent(rel), f.Args())) {
+						snd.Add(fact.FromTuple(relFwd(rel), f.Args()))
+					}
+				}
+			}
+			return snd, nil
+		},
+	}
+	return t, nil
+}

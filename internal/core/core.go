@@ -61,6 +61,13 @@ const (
 	// DomainRequest computes domain-disjoint-monotone queries
 	// (Mdisjoint) under domain-guided policies.
 	DomainRequest
+	// Gossip computes monotone queries (class M) like Broadcast, but
+	// nodes also relay every received fact once. Broadcast only works
+	// when every sender reaches every node directly; gossip's epidemic
+	// relaying additionally converges under hop-by-hop neighbor
+	// routing on sparse topologies (internal/netsim), where a fact must
+	// cross intermediate nodes to reach the far side of the graph.
+	Gossip
 )
 
 // String names the strategy.
@@ -72,6 +79,8 @@ func (s Strategy) String() string {
 		return "absence(Mdistinct)"
 	case DomainRequest:
 		return "domain-request(Mdisjoint)"
+	case Gossip:
+		return "gossip(M)"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -81,7 +90,7 @@ func (s Strategy) String() string {
 // computes correctly.
 func (s Strategy) Class() monotone.Class {
 	switch s {
-	case Broadcast:
+	case Broadcast, Gossip:
 		return monotone.M
 	case Absence:
 		return monotone.MDistinct
@@ -94,7 +103,7 @@ func (s Strategy) Class() monotone.Class {
 // needs. Broadcast is oblivious; the other two need Id, MyAdom and
 // the policy relations — but never All (Theorem 4.5).
 func (s Strategy) RequiredModel() transducer.Model {
-	if s == Broadcast {
+	if s == Broadcast || s == Gossip {
 		return transducer.Oblivious
 	}
 	return transducer.PolicyAwareNoAll
@@ -157,6 +166,8 @@ func Build(s Strategy, q monotone.Query) (*transducer.Transducer, error) {
 	switch s {
 	case Broadcast:
 		return buildBroadcast(q, in, out)
+	case Gossip:
+		return buildGossip(q, in, out)
 	case Absence:
 		return buildAbsence(q, in, out)
 	case DomainRequest:

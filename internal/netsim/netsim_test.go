@@ -1,0 +1,328 @@
+package netsim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fact"
+	"repro/internal/monotone"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/queries"
+	"repro/internal/transducer"
+)
+
+// sixNodes is the fixture network the equivalence battery runs on.
+func sixNodes() transducer.Network {
+	return transducer.MustNetwork("n1", "n2", "n3", "n4", "n5", "n6")
+}
+
+func sixGraph() *fact.Instance {
+	return fact.MustParseInstance(`E(a,b) E(b,c) E(c,d) E(d,a) E(b,e)`)
+}
+
+// fixture is one (strategy, query, policy) combination; the set covers
+// all four strategies on the six-node network.
+type fixture struct {
+	name string
+	s    core.Strategy
+	q    monotone.Query
+	pol  func(transducer.Network) transducer.Policy
+}
+
+func fixtures() []fixture {
+	hash := func(n transducer.Network) transducer.Policy { return transducer.HashPolicy(n) }
+	guided := func(n transducer.Network) transducer.Policy {
+		return transducer.DomainGuided(transducer.HashAssignment(n))
+	}
+	return []fixture{
+		{"broadcast", core.Broadcast, queries.TC(), hash},
+		{"gossip", core.Gossip, queries.TC(), hash},
+		{"absence", core.Absence, queries.NoLoop(), hash},
+		{"domainreq", core.DomainRequest, queries.ComplementTC(), guided},
+	}
+}
+
+// buildPair constructs a tick Simulation and an event-engine Sim over
+// identical components, both observing JSONL sinks.
+func buildPair(t *testing.T, fx fixture, plan *transducer.FaultPlan) (*transducer.Simulation, *bytes.Buffer, *netsim.Sim, *bytes.Buffer) {
+	t.Helper()
+	net := sixNodes()
+	tr := core.MustBuild(fx.s, fx.q)
+	pol := fx.pol(net)
+	in := sixGraph()
+
+	tick, err := transducer.NewSimulation(net, tr, pol, fx.s.RequiredModel(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := netsim.New(net, tr, pol, fx.s.RequiredModel(), in, netsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, eb bytes.Buffer
+	tick.Observe(obs.NewSink(&tb))
+	ev.Observe(obs.NewSink(&eb))
+	if plan != nil {
+		tick.SetFaults(plan)
+		ev.SetFaults(plan)
+	}
+	return tick, &tb, ev, &eb
+}
+
+func mustPlan(t *testing.T, spec string, seed int64) *transducer.FaultPlan {
+	t.Helper()
+	p, err := transducer.ParseFaultPlan(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLockstepTraceEquivalence pins the tentpole's compatibility
+// claim: with no topology, the event engine's lockstep primitives
+// produce byte-identical event streams, identical Metrics and equal
+// outputs to transducer.Simulation — fair runs, with and without a
+// full fault mix.
+func TestLockstepTraceEquivalence(t *testing.T) {
+	plans := map[string]*transducer.FaultPlan{
+		"clean": nil,
+		"faulty": mustPlan(t,
+			"dup=0.2,delay=0.25:4,stall=n3@4-9,crash=n2@7,part=5-12:n1|n4", 99),
+	}
+	for _, fx := range fixtures() {
+		for pname, plan := range plans {
+			if fx.s == core.DomainRequest && pname == "faulty" {
+				continue // crashes falsify Xok certificates by design
+			}
+			t.Run(fx.name+"/"+pname, func(t *testing.T) {
+				tick, tb, ev, eb := buildPair(t, fx, plan)
+				out1, err := tick.RunToQuiescence(200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out2, err := ev.RunFair(200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out1.Equal(out2) {
+					t.Fatalf("outputs differ: tick %v, event %v", out1, out2)
+				}
+				if tick.Metrics != ev.RunMetrics() {
+					t.Fatalf("metrics differ:\ntick  %+v\nevent %+v", tick.Metrics, ev.RunMetrics())
+				}
+				if !bytes.Equal(tb.Bytes(), eb.Bytes()) {
+					t.Fatalf("event streams differ:\n--- tick ---\n%s\n--- event ---\n%s", tb.String(), eb.String())
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepPrimitiveEquivalence drives both machines through an
+// identical scripted mix of every Machine primitive and requires
+// identical metrics, byte-identical streams and matching buffer /
+// known-value views afterwards.
+func TestLockstepPrimitiveEquivalence(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			tick, tb, ev, eb := buildPair(t, fx, mustPlan(t, "dup=0.15,delay=0.2:3,stall=n5@3-6", 7))
+			net := sixNodes()
+			script := func(m transducer.Machine, rng *rand.Rand) error {
+				for step := 0; step < 60; step++ {
+					x := net[rng.Intn(len(net))]
+					var err error
+					switch rng.Intn(5) {
+					case 0:
+						_, err = m.Heartbeat(x)
+					case 1:
+						_, err = m.Deliver(x)
+					case 2:
+						_, err = m.DeliverRandom(x, rng)
+					case 3:
+						_, err = m.DeliverWhere(x, func(fact.Fact) bool { return rng.Intn(2) == 0 })
+					default:
+						batch := fact.NewInstance()
+						for _, f := range m.BufferedFacts(x) {
+							if rng.Intn(2) == 0 {
+								batch.Add(f)
+							}
+						}
+						_, err = m.DeliverBatch(x, batch)
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := script(tick, rand.New(rand.NewSource(5))); err != nil {
+				t.Fatal(err)
+			}
+			if err := script(ev, rand.New(rand.NewSource(5))); err != nil {
+				t.Fatal(err)
+			}
+			if tick.RunMetrics() != ev.RunMetrics() {
+				t.Fatalf("metrics differ:\ntick  %+v\nevent %+v", tick.RunMetrics(), ev.RunMetrics())
+			}
+			if !bytes.Equal(tb.Bytes(), eb.Bytes()) {
+				t.Fatalf("streams differ after scripted primitives:\n--- tick ---\n%s\n--- event ---\n%s", tb.String(), eb.String())
+			}
+			for _, x := range net {
+				if len(tick.KnownValues(x)) != len(ev.KnownValues(x)) {
+					t.Fatalf("KnownValues(%s) differ", x)
+				}
+				bt, be := tick.BufferedFacts(x), ev.BufferedFacts(x)
+				if len(bt) != len(be) {
+					t.Fatalf("BufferedFacts(%s) differ: %v vs %v", x, bt, be)
+				}
+				for i := range bt {
+					if bt[i].Key() != be[i].Key() {
+						t.Fatalf("BufferedFacts(%s)[%d] differ", x, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplorerEquivalence reruns the adversarial schedule explorer —
+// the X-matrix engine — through the netsim MachineFactory and
+// requires the identical verdict and identical aggregate statistics
+// as the tick engine, for in-class fixtures (no violation) and for
+// the out-of-class boundary (same violation rediscovered).
+func TestExplorerEquivalence(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			net := sixNodes()
+			pol := fx.pol(net)
+			in := sixGraph()
+			base := transducer.ExploreOptions{Seeds: 10, Faults: core.FaultConfigFor(fx.s)}
+
+			v1, st1, err := core.ExploreStrategy(fx.s, fx.q, net, pol, in, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withFactory := base
+			withFactory.NewMachine = netsim.MachineFactory(netsim.Options{})
+			v2, st2, err := core.ExploreStrategy(fx.s, fx.q, net, pol, in, withFactory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (v1 == nil) != (v2 == nil) {
+				t.Fatalf("verdicts differ: tick %v, event %v", v1, v2)
+			}
+			if v1 != nil {
+				t.Fatalf("in-class fixture violated: %v", v1)
+			}
+			if st1 != st2 {
+				t.Fatalf("stats differ:\ntick  %+v\nevent %+v", st1, st2)
+			}
+		})
+	}
+}
+
+// TestExplorerEquivalenceBoundary: out-of-class, both engines must
+// rediscover the same divergence (absence strategy on QTC).
+func TestExplorerEquivalenceBoundary(t *testing.T) {
+	net := sixNodes()
+	q := queries.ComplementTC()
+	pol := transducer.HashPolicy(net)
+	in := sixGraph()
+	base := transducer.ExploreOptions{Seeds: 20, Faults: core.FaultConfigFor(core.Absence)}
+
+	v1, _, err := core.ExploreStrategy(core.Absence, q, net, pol, in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFactory := base
+	withFactory.NewMachine = netsim.MachineFactory(netsim.Options{})
+	v2, _, err := core.ExploreStrategy(core.Absence, q, net, pol, in, withFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == nil || v2 == nil {
+		t.Fatalf("expected both engines to find the boundary violation: tick %v, event %v", v1, v2)
+	}
+	if v1.Kind != v2.Kind || v1.Schedule != v2.Schedule || v1.Step != v2.Step {
+		t.Fatalf("violations differ:\ntick  %v\nevent %v", v1, v2)
+	}
+}
+
+// TestEventRunMatchesTick: the event-driven scheduler must converge to
+// the tick engine's output on every fixture, clean and faulty.
+func TestEventRunMatchesTick(t *testing.T) {
+	for _, fx := range fixtures() {
+		for _, pspec := range []string{"", "dup=0.2,delay=0.25:4,stall=n3@4-9,crash=n2@7,part=5-12:n1|n4"} {
+			name := fx.name + "/clean"
+			if pspec != "" {
+				name = fx.name + "/faulty"
+				if fx.s == core.DomainRequest {
+					continue
+				}
+			}
+			t.Run(name, func(t *testing.T) {
+				var plan *transducer.FaultPlan
+				if pspec != "" {
+					plan = mustPlan(t, pspec, 42)
+				}
+				tick, _, ev, _ := buildPair(t, fx, plan)
+				want, err := tick.RunToQuiescence(200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ev.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("event run diverged:\n got %v\nwant %v", got, want)
+				}
+				if !ev.Conserved() {
+					m := ev.RunMetrics()
+					t.Fatalf("conservation broken: sent=%d delivered=%d buffered=%d inflight=%d dropped=%d",
+						m.MessagesSent, m.MessagesDelivered, ev.TotalBuffered(), ev.Inflight(), m.MessagesDropped)
+				}
+				if ev.SchedOps() == 0 || ev.Events() == 0 {
+					t.Fatal("event scheduler accounted no work")
+				}
+			})
+		}
+	}
+}
+
+// TestEventDeterminism: equal seeds yield byte-identical event
+// streams; different seeds still converge to the same output.
+func TestEventDeterminism(t *testing.T) {
+	run := func(seed int64) (*fact.Instance, []byte) {
+		net := sixNodes()
+		tr := core.MustBuild(core.Gossip, queries.TC())
+		ev, err := netsim.New(net, tr, transducer.HashPolicy(net), core.Gossip.RequiredModel(), sixGraph(),
+			netsim.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ev.Observe(obs.NewSink(&buf))
+		ev.SetFaults(mustPlan(t, "dup=0.3,delay=0.3:5,crash=n4@6", 21))
+		out, err := ev.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, buf.Bytes()
+	}
+	outA, streamA := run(77)
+	outB, streamB := run(77)
+	outC, streamC := run(78)
+	if !bytes.Equal(streamA, streamB) {
+		t.Fatal("equal seeds produced different event streams")
+	}
+	if !outA.Equal(outB) || !outA.Equal(outC) {
+		t.Fatal("outputs depend on the tiebreak seed")
+	}
+	if bytes.Equal(streamA, streamC) {
+		t.Fatal("different seeds produced identical streams (tiebreak not wired)")
+	}
+}

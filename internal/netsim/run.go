@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/fact"
+	"repro/internal/obs"
+	"repro/internal/transducer"
+)
+
+// This file is the event-driven scheduler. The run is a discrete
+// event simulation over logical time:
+//
+//   - An activation event makes a node take one transition, delivering
+//     its whole inbox. A node is re-activated at time+1 only when the
+//     transition changed something (state or sends) — an unchanged
+//     heartbeat is a deterministic no-op forever until a new arrival,
+//     so sleeping it is sound. Idle nodes therefore cost nothing.
+//   - Sends become arrival events at time + latency + fault hold; the
+//     fact enters the recipient's inbox when the arrival pops, and the
+//     arrival wakes the recipient at that same time. Arrivals order
+//     before activations at equal times, so a node activating at t
+//     sees every time-t arrival as one batch.
+//   - Fault-plan crashes are pre-scheduled as crash events (their At
+//     read as logical time), so a late crash keeps the queue nonempty
+//     until it has played out; stall windows reschedule the activation
+//     to the window's end.
+//
+// An empty queue is quiescence: no activation pending means every node
+// is asleep with an empty inbox and nothing in flight.
+
+// DefaultMaxEventsPerNode scales the event bound to the network.
+const DefaultMaxEventsPerNode = 500
+
+// maxEvents resolves the configured event bound.
+func (s *Sim) maxEvents() int {
+	if s.opts.MaxEvents > 0 {
+		return s.opts.MaxEvents
+	}
+	return 10000 + DefaultMaxEventsPerNode*len(s.Net)
+}
+
+// push schedules an event, stamping the deterministic tiebreak.
+func (s *Sim) push(e event) {
+	e.tie = tieHash(s.opts.Seed, e.time, e.node, e.kind)
+	e.seq = s.seq
+	s.seq++
+	s.heap.push(e)
+	if s.heap.len() > s.heapMax {
+		s.heapMax = s.heap.len()
+	}
+}
+
+// wake ensures node i has an activation scheduled no later than at.
+func (s *Sim) wake(i int, at int64) {
+	if s.pending[i] >= 0 && s.pending[i] <= at {
+		return
+	}
+	s.pending[i] = at
+	s.push(event{time: at, kind: evActivate, node: int32(i)})
+}
+
+// silentStart reports whether nodes with empty input fragments can
+// skip their initial activation. In a model with no system relations
+// at all, every empty-fragment node starts bisimilar: one probe
+// transition on scratch state decides for all of them. With Id (or
+// any other system relation) visible, nodes are distinguishable and
+// each must probe for itself.
+func (s *Sim) silentStart() bool {
+	if s.Mod.ShowId || s.Mod.ShowAll || s.Mod.ShowMyAdom || s.Mod.ShowPolicy {
+		return false
+	}
+	empty := fact.NewInstance()
+	scratch := fact.NewInstance()
+	res, err := s.step.Step(s.Net[0], empty, scratch, empty)
+	if err != nil {
+		return false
+	}
+	return !res.Changed && res.Sent.Empty()
+}
+
+// Run drives the network to quiescence on the event scheduler and
+// returns out(R). The same seed yields the same event sequence, the
+// same event stream on the sink, and the same output.
+func (s *Sim) Run() (*fact.Instance, error) {
+	// Pre-schedule the fault plan's crashes; dup/delay/partition
+	// decisions apply per send, stalls per activation.
+	if s.faults != nil {
+		for _, c := range s.faults.Crashes {
+			if j, ok := s.idx[c.Node]; ok {
+				s.push(event{time: int64(c.At), kind: evCrash, node: int32(j)})
+			}
+		}
+	}
+	// Drain any lockstep-mode holds into arrivals so a machine that
+	// was stepped manually first can still finish on the event engine.
+	for i, q := range s.held {
+		for _, h := range q {
+			s.inflight += h.n
+			s.push(event{time: int64(h.release), kind: evArrive, node: int32(i), f: h.f, n: h.n})
+		}
+		s.held[i] = nil
+	}
+	// Initial activations: every node whose fragment or inbox is
+	// nonempty, plus — unless a probe shows empty-fragment nodes are
+	// silent — everyone else.
+	silent := s.silentStart()
+	for i := range s.Net {
+		if !silent || !s.local[i].Empty() || !s.inbox[i].Empty() {
+			s.wake(i, 0)
+		}
+	}
+
+	bound := s.maxEvents()
+	for s.heap.len() > 0 {
+		if s.events >= bound {
+			return nil, fmt.Errorf("%w (maxEvents=%d)", transducer.ErrNoQuiescence, bound)
+		}
+		e := s.heap.pop()
+		s.events++
+		s.now = e.time
+		switch e.kind {
+		case evArrive:
+			s.inflight -= e.n
+			s.inbox[e.node].Add(e.f, e.n)
+			s.wake(int(e.node), e.time)
+		case evCrash:
+			s.eventCrash(int(e.node))
+		case evActivate:
+			if s.pending[e.node] != e.time {
+				continue // superseded by an earlier wake
+			}
+			s.pending[e.node] = -1
+			if err := s.activate(int(e.node)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	emitNetsimQuiesce(s.sink, s.now, s.events, s.schedOps, s.Output().Len())
+	return s.Output(), nil
+}
+
+// emitNetsimQuiesce is the single construction site for the
+// netsim.quiesce event kind (nil-sink safe, like the transducer Emit
+// helpers).
+func emitNetsimQuiesce(sink *obs.Sink, time int64, events, schedOps, out int) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.EvNetsimQuiesce,
+		obs.F("time", int(time)),
+		obs.F("events", events),
+		obs.F("sched_ops", schedOps),
+		obs.F("out", out))
+}
+
+// activate performs one event-mode transition of node i: whole-inbox
+// delivery, fault-routed sends as arrivals, self-wake on change.
+func (s *Sim) activate(i int) error {
+	s.schedOps++
+	x := s.Net[i]
+	clock := int(s.now)
+	if s.faults != nil && s.faults.StalledAt(x, clock) {
+		s.met.StalledSteps++
+		transducer.EmitStall(s.sink, s.met.Transitions, clock, x)
+		// Retry when the last stall window covering this time ends.
+		end := clock
+		for _, st := range s.faults.Stalls {
+			if st.Node == x && clock >= st.From && clock < st.To && st.To > end {
+				end = st.To
+			}
+		}
+		s.wake(i, int64(end))
+		return nil
+	}
+
+	m, delivered := s.inbox[i].TakeAll()
+	s.met.MessagesDelivered += delivered
+	res, err := s.step.Step(x, s.local[i], s.state[i], m)
+	if err != nil {
+		return err
+	}
+	changed := res.Changed
+	snd := res.Sent
+
+	sent := 0
+	if !snd.Empty() {
+		for _, f := range snd.Facts() {
+			s.sentLog[i].Add(f)
+		}
+		s.eachRecipient(i, func(j int) {
+			for _, f := range snd.Facts() {
+				copies, delay := 1, 0
+				if s.faults != nil {
+					copies += s.faults.ExtraCopies(clock, x, s.Net[j], f)
+					delay = s.faults.HoldFor(clock, x, s.Net[j], f)
+				}
+				s.met.MessagesSent += copies
+				s.met.MessagesDuplicated += copies - 1
+				if delay > 0 {
+					s.met.MessagesDelayed += copies
+					transducer.EmitHold(s.sink, clock, x, s.Net[j], f, copies, clock+delay)
+				}
+				s.inflight += copies
+				s.push(event{
+					time: s.now + s.latency(i, j) + int64(delay),
+					kind: evArrive, node: int32(j), f: f, n: copies,
+				})
+				sent += copies
+			}
+			changed = true
+		})
+	}
+	s.noteOut(res.OutNew)
+
+	s.met.Transitions++
+	if m.Empty() {
+		s.met.Heartbeats++
+	}
+	if s.sink != nil {
+		transducer.EmitTransition(s.sink, s.met.Transitions, clock, x, m, snd.Len(), changed,
+			s.state[i].Restrict(s.Trans.Schema.Out).Len(), s.inbox[i].Size(), 0)
+	}
+	if changed {
+		s.wake(i, s.now+1)
+	}
+	return nil
+}
+
+// eventCrash applies a crash-restart in event mode: the inbox and
+// volatile state drop (in-flight arrivals survive — they deliver
+// after the restart), and the rebroadcast sources refill the inbox
+// immediately, after which the node wakes to recover.
+func (s *Sim) eventCrash(i int) {
+	x := s.Net[i]
+	dropped := s.inbox[i].Size()
+	s.met.MessagesDropped += dropped
+	s.state[i] = fact.NewInstance()
+	s.inbox[i] = transducer.NewMultiset()
+	s.eachRecipient(i, func(y int) {
+		for _, f := range s.sentLog[y].Facts() {
+			s.inbox[i].Add(f, 1)
+			s.met.MessagesSent++
+			s.met.MessagesRetransmitted++
+		}
+	})
+	s.met.Crashes++
+	transducer.EmitCrash(s.sink, s.met.Transitions, int(s.now), x, dropped, s.inbox[i].Size())
+	s.wake(i, s.now)
+}
+
+// PublishTo adds the run's counters into the registry: the shared
+// sim.* vocabulary plus the netsim.* scheduler story. Safe on nil.
+func (s *Sim) PublishTo(reg *obs.Registry) {
+	s.met.Publish(reg)
+	reg.Counter(obs.NetsimEvents).Add(int64(s.events))
+	reg.Counter(obs.NetsimSchedOps).Add(int64(s.schedOps))
+	if g := reg.Gauge(obs.NetsimHeapMax); g != nil {
+		g.Set(int64(s.heapMax))
+	}
+	if g := reg.Gauge(obs.NetsimQuiesceTime); g != nil {
+		g.Set(s.now)
+	}
+}

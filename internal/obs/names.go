@@ -254,6 +254,24 @@ const (
 	SimQuiescenceTick = "sim.quiescence_tick" // gauge: clock at quiescence
 )
 
+// Event-driven network simulator metrics (internal/netsim). The
+// engine also republishes the transducer Metrics under the sim.*
+// names above; these add the scheduler-side story.
+const (
+	// NetsimEvents counts events popped from the queue (activations,
+	// arrivals, crashes — stale activations included).
+	NetsimEvents = "netsim.events"
+	// NetsimSchedOps counts scheduler operations charged to the run:
+	// one per node visit. The event engine pays one per activation
+	// pop; the dense tick walk pays one per node per round. The ratio
+	// is the idle-nodes-cost-nothing win.
+	NetsimSchedOps = "netsim.sched_ops"
+	// NetsimHeapMax is the high-water heap depth (gauge).
+	NetsimHeapMax = "netsim.heap_max"
+	// NetsimQuiesceTime is the logical time at quiescence (gauge).
+	NetsimQuiesceTime = "netsim.quiesce_time"
+)
+
 // Schedule explorer metrics (internal/transducer ExploreStats).
 const (
 	ExploreSchedules   = "explore.schedules"
@@ -297,6 +315,11 @@ const (
 	// EvQuiesce: clock, rounds, out.
 	EvQuiesce = "sim.quiesce"
 
+	// EvNetsimQuiesce: time, events, sched_ops, out — the event-driven
+	// engine's quiescence record (logical time replaces the tick
+	// scheduler's round count).
+	EvNetsimQuiesce = "netsim.quiesce"
+
 	// EvSchedule: label, transitions, sent, delivered, aborted.
 	EvSchedule = "explore.schedule"
 	// EvViolation: kind, schedule, step, bad, output, want.
@@ -309,5 +332,6 @@ var EventKinds = []string{
 	EvIncrApply, EvIncrStratum,
 	EvIlogRound, EvIlogStratum,
 	EvTransition, EvStall, EvCrash, EvHold, EvQuiesce,
+	EvNetsimQuiesce,
 	EvSchedule, EvViolation,
 }

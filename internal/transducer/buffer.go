@@ -1,0 +1,55 @@
+package transducer
+
+import (
+	"math/rand"
+
+	"repro/internal/fact"
+)
+
+// Multiset is the exported name of the simulator's message buffer: a
+// multiset of facts (Section 4.1.3 uses multisets because the same
+// message can be sent several times and float around simultaneously).
+// The event-driven engine in internal/netsim reuses this exact type
+// for its per-node inboxes so that batch delivery — including the
+// sorted-key consumption order that makes seeded runs reproducible —
+// is byte-identical across schedulers.
+type Multiset = multiset
+
+// NewMultiset returns an empty buffer.
+func NewMultiset() *Multiset { return newMultiset() }
+
+// Add inserts n copies of f.
+func (m *multiset) Add(f fact.Fact, n int) { m.add(f, n) }
+
+// Size returns the number of message instances buffered (copies
+// counted).
+func (m *multiset) Size() int { return m.size() }
+
+// Empty reports whether the buffer holds no message at all.
+func (m *multiset) Empty() bool { return m.empty() }
+
+// SortedKeys returns the buffered fact keys in sorted order — the only
+// order observable consumption may walk the buffer in (see sortedKeys).
+func (m *multiset) SortedKeys() []string { return m.sortedKeys() }
+
+// Fact returns the buffered fact under key k and its multiplicity
+// (zero value and 0 when absent).
+func (m *multiset) Fact(k string) (fact.Fact, int) { return m.facts[k], m.counts[k] }
+
+// RemoveKey deletes all copies of the fact under key k and returns how
+// many instances were removed.
+func (m *multiset) RemoveKey(k string) int {
+	n := m.counts[k]
+	delete(m.counts, k)
+	delete(m.facts, k)
+	return n
+}
+
+// TakeAll removes and returns the whole buffer collapsed to a set,
+// plus the number of message instances delivered.
+func (m *multiset) TakeAll() (*fact.Instance, int) { return m.takeAll() }
+
+// TakeRandom removes a random submultiset (each copy kept or delivered
+// with probability 1/2), consuming the buffer in sorted key order so
+// rng draws are reproducible.
+func (m *multiset) TakeRandom(rng *rand.Rand) (*fact.Instance, int) { return m.takeRandom(rng) }

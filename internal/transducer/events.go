@@ -2,7 +2,9 @@ package transducer
 
 import (
 	"fmt"
+	"io"
 
+	"repro/internal/fact"
 	"repro/internal/obs"
 )
 
@@ -25,4 +27,95 @@ func legacyTraceRender(buf []byte, e *obs.Event) []byte {
 			e.Int("step"), e.Str("node"), e.Int("dropped"), e.Int("rebuffered"))...)
 	}
 	return buf
+}
+
+// NewLegacyTraceSink returns a sink rendering events through the
+// legacy text trace format — what TraceTo installs. Exported so the
+// event-driven engine (internal/netsim) offers the identical adapter.
+func NewLegacyTraceSink(w io.Writer) *obs.Sink {
+	return obs.NewSinkFunc(w, legacyTraceRender)
+}
+
+// The Emit* helpers below are the single construction sites for the
+// sim.* event kinds: field names, order and types are part of the
+// byte-stable trace format, so every scheduler (the tick Simulation
+// here, the event-driven engine in internal/netsim) must emit through
+// them rather than build the field lists itself. All are no-ops on a
+// nil sink, keeping the disabled-instrumentation path allocation-free.
+
+// EmitTransition emits one sim.transition event. The delivered set m
+// is part of the event (sorted rendering) so a trace is a complete,
+// comparable record of the run: two runs with the same seed must
+// produce byte-identical streams.
+func EmitTransition(sink *obs.Sink, step, clock int, x NodeID, m *fact.Instance, sent int, changed bool, out, buffered, held int) {
+	if sink == nil {
+		return
+	}
+	kind := "deliver"
+	if m.Empty() {
+		kind = "heartbeat"
+	}
+	sink.Emit(obs.EvTransition,
+		obs.F("step", step),
+		obs.F("clock", clock),
+		obs.F("node", string(x)),
+		obs.F("kind", kind),
+		obs.F("delivered", m.Len()),
+		obs.F("sent", sent),
+		obs.F("changed", changed),
+		obs.F("out", out),
+		obs.F("buffered", buffered),
+		obs.F("held", held),
+		obs.F("msgs", m.String()))
+}
+
+// EmitStall emits one sim.stall event (an activation swallowed by a
+// stall window).
+func EmitStall(sink *obs.Sink, step, clock int, x NodeID) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.EvStall,
+		obs.F("step", step),
+		obs.F("clock", clock),
+		obs.F("node", string(x)))
+}
+
+// EmitCrash emits one sim.crash event.
+func EmitCrash(sink *obs.Sink, step, clock int, x NodeID, dropped, rebuffered int) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.EvCrash,
+		obs.F("step", step),
+		obs.F("clock", clock),
+		obs.F("node", string(x)),
+		obs.F("dropped", dropped),
+		obs.F("rebuffered", rebuffered))
+}
+
+// EmitHold emits one sim.hold event (a message the fault plan held
+// back).
+func EmitHold(sink *obs.Sink, clock int, from, to NodeID, f fact.Fact, copies, release int) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.EvHold,
+		obs.F("clock", clock),
+		obs.F("from", string(from)),
+		obs.F("to", string(to)),
+		obs.F("fact", f),
+		obs.F("copies", copies),
+		obs.F("release", release))
+}
+
+// EmitQuiesce emits one sim.quiesce event.
+func EmitQuiesce(sink *obs.Sink, clock, rounds, out int) {
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.EvQuiesce,
+		obs.F("clock", clock),
+		obs.F("rounds", rounds),
+		obs.F("out", out))
 }

@@ -160,6 +160,38 @@ func (v *ScheduleViolation) Error() string {
 	}
 }
 
+// Machine is the scheduler-facing surface the adversarial explorer
+// drives: the delivery primitives plus the introspection the schedule
+// families need (buffer contents for the fresh-value adversaries,
+// quiescence inputs for the fair drive). *Simulation implements it
+// with the tick engine; internal/netsim implements it with the
+// event-driven engine. Both must be behaviorally identical under the
+// same schedule — the equivalence battery in netsim pins that.
+type Machine interface {
+	Heartbeat(x NodeID) (bool, error)
+	Deliver(x NodeID) (bool, error)
+	DeliverWhere(x NodeID, pred func(fact.Fact) bool) (bool, error)
+	DeliverBatch(x NodeID, batch *fact.Instance) (bool, error)
+	DeliverRandom(x NodeID, rng *rand.Rand) (bool, error)
+	SetFaults(p *FaultPlan)
+	Output() *fact.Instance
+	TotalBuffered() int
+	TotalHeld() int
+	FaultsDone() bool
+	RunMetrics() Metrics
+	// BufferedFacts returns the facts buffered at x in sorted key
+	// order (copies collapsed); KnownValues returns the values x has
+	// seen (id + adom of fragment and state).
+	BufferedFacts(x NodeID) []fact.Fact
+	KnownValues(x NodeID) fact.ValueSet
+}
+
+// MachineFactory builds a fresh start-configuration machine for one
+// schedule. The explorer constructs every schedule's machine through
+// this hook, so plugging in a different scheduler (netsim's
+// event-driven engine) rewires the whole X-matrix.
+type MachineFactory func(net Network, t *Transducer, pol Policy, mod Model, input *fact.Instance) (Machine, error)
+
 // ExploreOptions tunes ExploreSchedules.
 type ExploreOptions struct {
 	// Seeds is how many seeded random fault schedules to run
@@ -183,6 +215,9 @@ type ExploreOptions struct {
 	// breaks the property). Per-transition simulation events are not
 	// attached here — wire a sink to an individual Simulation for that.
 	Sink *obs.Sink
+	// NewMachine, when non-nil, constructs each schedule's machine;
+	// nil uses the tick-based Simulation.
+	NewMachine MachineFactory
 }
 
 // ExploreStats reports how much was explored. Every schedule counts,
@@ -291,7 +326,13 @@ type explorer struct {
 }
 
 func (e *explorer) newRun(label string) (*scheduleRun, error) {
-	sim, err := NewSimulation(e.net, e.t, e.pol, e.mod, e.input)
+	var sim Machine
+	var err error
+	if e.opts.NewMachine != nil {
+		sim, err = e.opts.NewMachine(e.net, e.t, e.pol, e.mod, e.input)
+	} else {
+		sim, err = NewSimulation(e.net, e.t, e.pol, e.mod, e.input)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +350,7 @@ func (e *explorer) record(v *ScheduleViolation, err error) {
 	if r == nil {
 		return
 	}
-	m := r.sim.Metrics
+	m := r.sim.RunMetrics()
 	e.stats.Transitions += m.Transitions
 	e.stats.Sim.Merge(m)
 	aborted := v != nil || err != nil
@@ -342,10 +383,10 @@ func (e *explorer) record(v *ScheduleViolation, err error) {
 	}
 }
 
-// scheduleRun wraps one simulation with per-step soundness checking.
+// scheduleRun wraps one machine with per-step soundness checking.
 type scheduleRun struct {
 	e     *explorer
-	sim   *Simulation
+	sim   Machine
 	label string
 }
 
@@ -367,7 +408,7 @@ func (r *scheduleRun) checkSound() *ScheduleViolation {
 	return &ScheduleViolation{
 		Kind:     WrongFact,
 		Schedule: r.label,
-		Step:     r.sim.Metrics.Transitions,
+		Step:     r.sim.RunMetrics().Transitions,
 		Bad:      bad,
 		Output:   out,
 		Want:     r.e.want,
@@ -393,13 +434,13 @@ func (r *scheduleRun) finish(extraRounds int) (*ScheduleViolation, error) {
 				anyChanged = true
 			}
 		}
-		if !anyChanged && r.sim.TotalBuffered() == 0 && r.sim.TotalHeld() == 0 && r.sim.faultsDone() {
+		if !anyChanged && r.sim.TotalBuffered() == 0 && r.sim.TotalHeld() == 0 && r.sim.FaultsDone() {
 			out := r.sim.Output()
 			if !out.Equal(r.e.want) {
 				return &ScheduleViolation{
 					Kind:     Divergence,
 					Schedule: r.label,
-					Step:     r.sim.Metrics.Transitions,
+					Step:     r.sim.RunMetrics().Transitions,
 					Output:   out,
 					Want:     r.e.want,
 				}, nil
@@ -410,7 +451,7 @@ func (r *scheduleRun) finish(extraRounds int) (*ScheduleViolation, error) {
 	return &ScheduleViolation{
 		Kind:     NoQuiescence,
 		Schedule: r.label,
-		Step:     r.sim.Metrics.Transitions,
+		Step:     r.sim.RunMetrics().Transitions,
 		Output:   r.sim.Output(),
 		Want:     r.e.want,
 	}, nil
@@ -459,17 +500,6 @@ func (e *explorer) starveRun(victim NodeID) (*ScheduleViolation, error) {
 	return r.finish(0)
 }
 
-// knownValues returns the values node x has already seen: its own
-// identifier plus the active domains of its input fragment and state.
-func knownValues(s *Simulation, x NodeID) fact.ValueSet {
-	known := s.local[x].ADom()
-	for v := range s.state[x].ADom() {
-		known.Add(v)
-	}
-	known.Add(x)
-	return known
-}
-
 // freshCount counts the argument values of f that x has not seen yet.
 func freshCount(known fact.ValueSet, f fact.Fact) int {
 	fresh := 0
@@ -499,11 +529,10 @@ func (e *explorer) freshFloodRun() (*ScheduleViolation, error) {
 		var bestNode NodeID
 		var bestFact fact.Fact
 		for _, x := range e.net {
-			known := knownValues(r.sim, x)
-			b := r.sim.buf[x]
-			for _, k := range b.sortedKeys() {
-				if n := freshCount(known, b.facts[k]); n > bestScore {
-					bestScore, bestNode, bestFact = n, x, b.facts[k]
+			known := r.sim.KnownValues(x)
+			for _, f := range r.sim.BufferedFacts(x) {
+				if n := freshCount(known, f); n > bestScore {
+					bestScore, bestNode, bestFact = n, x, f
 				}
 			}
 		}
@@ -554,12 +583,11 @@ func (e *explorer) freshStarveRun(victim NodeID) (*ScheduleViolation, error) {
 	}
 	for round := 0; round < e.opts.MaxRounds; round++ {
 		progress := false
-		known := knownValues(r.sim, victim)
+		known := r.sim.KnownValues(victim)
 		stale := fact.NewInstance()
-		b := r.sim.buf[victim]
-		for _, k := range b.sortedKeys() {
-			if freshCount(known, b.facts[k]) == 0 {
-				stale.Add(b.facts[k])
+		for _, f := range r.sim.BufferedFacts(victim) {
+			if freshCount(known, f) == 0 {
+				stale.Add(f)
 			}
 		}
 		changed, err := r.sim.DeliverBatch(victim, stale)

@@ -367,12 +367,7 @@ func (s *Simulation) begin(x NodeID) (stalled bool) {
 	s.releaseHeld()
 	if s.faults.StalledAt(x, s.clock) {
 		s.Metrics.StalledSteps++
-		if s.sink != nil {
-			s.sink.Emit(obs.EvStall,
-				obs.F("step", s.Metrics.Transitions),
-				obs.F("clock", s.clock),
-				obs.F("node", string(x)))
-		}
+		EmitStall(s.sink, s.Metrics.Transitions, s.clock, x)
 		return true
 	}
 	return false
@@ -428,14 +423,7 @@ func (s *Simulation) crash(x NodeID) {
 		}
 	}
 	s.Metrics.Crashes++
-	if s.sink != nil {
-		s.sink.Emit(obs.EvCrash,
-			obs.F("step", s.Metrics.Transitions),
-			obs.F("clock", s.clock),
-			obs.F("node", string(x)),
-			obs.F("dropped", dropped),
-			obs.F("rebuffered", s.buf[x].size()))
-	}
+	EmitCrash(s.sink, s.Metrics.Transitions, s.clock, x, dropped, s.buf[x].size())
 }
 
 // send routes one (fact, recipient) pair through the fault plan: the
@@ -452,15 +440,7 @@ func (s *Simulation) send(from, to NodeID, f fact.Fact) {
 	if delay > 0 {
 		s.held[to] = append(s.held[to], heldMsg{release: s.clock + delay, f: f, n: copies})
 		s.Metrics.MessagesDelayed += copies
-		if s.sink != nil {
-			s.sink.Emit(obs.EvHold,
-				obs.F("clock", s.clock),
-				obs.F("from", string(from)),
-				obs.F("to", string(to)),
-				obs.F("fact", f),
-				obs.F("copies", copies),
-				obs.F("release", s.clock+delay))
-		}
+		EmitHold(s.sink, s.clock, from, to, f, copies, s.clock+delay)
 	} else {
 		s.buf[to].add(f, copies)
 	}
@@ -476,88 +456,21 @@ func (s *Simulation) Output() *fact.Instance {
 	return out
 }
 
-// systemFacts builds the set S of system facts shown to active node x
-// given its visible data J, per the transition semantics of
-// Section 4.1.3 (and its All-free modification from Section 4.3).
-func (s *Simulation) systemFacts(x NodeID, j *fact.Instance) *fact.Instance {
-	sys := fact.NewInstance()
-	if s.Mod.ShowId {
-		sys.Add(fact.New(RelId, x))
-	}
-	// The base A: N ∪ adom(J) with All, {x} ∪ adom(J) without.
-	a := j.ADom()
-	if s.Mod.ShowAll {
-		for _, y := range s.Net {
-			a.Add(y)
-			sys.Add(fact.New(RelAll, y))
-		}
-	} else {
-		a.Add(x)
-	}
-	if s.Mod.ShowMyAdom {
-		for v := range a {
-			sys.Add(fact.New(RelMyAdom, v))
-		}
-	}
-	if s.Mod.ShowPolicy {
-		values := a.Sorted()
-		for rel, ar := range s.Trans.Schema.In {
-			for _, tup := range enumerateTuples(values, ar) {
-				f := fact.FromTuple(rel, tup)
-				if Responsible(s.Pol, x, f) {
-					sys.Add(fact.New(PolicyRel(rel), tup...))
-				}
-			}
-		}
-	}
-	return sys
-}
-
 // transition performs one transition of the active node x with the
-// delivered message set m (already removed from the buffer). It
-// reports whether the node's state changed or any message was sent.
+// delivered message set m (already removed from the buffer). The
+// query evaluation and state update live in the scheduler-independent
+// Stepper (step.go); this wrapper adds the tick scheduler's concerns —
+// broadcast routing through the fault plan, the crash-recovery send
+// log, metrics and the trace event. It reports whether the node's
+// state changed or any message was sent.
 func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err error) {
-	t := s.Trans
-	j := s.local[x].Union(s.state[x]).Union(m)
-	d := j.Union(s.systemFacts(x, j))
-
-	out, err := runQuery(t.Out, d, t.Schema.Out, "output")
+	sp := Stepper{Net: s.Net, Trans: s.Trans, Pol: s.Pol, Mod: s.Mod}
+	res, err := sp.Step(x, s.local[x], s.state[x], m)
 	if err != nil {
 		return false, err
 	}
-	ins, err := runQuery(t.Ins, d, t.Schema.Mem, "insertion")
-	if err != nil {
-		return false, err
-	}
-	del, err := runQuery(t.Del, d, t.Schema.Mem, "deletion")
-	if err != nil {
-		return false, err
-	}
-	snd, err := runQuery(t.Snd, d, t.Schema.Msg, "send")
-	if err != nil {
-		return false, err
-	}
-
-	// State update: outputs accumulate; memory applies ins/del with
-	// the cancellation semantics of Section 4.1.3.
-	st := s.state[x]
-	for _, f := range out.Facts() {
-		if st.Add(f) {
-			changed = true
-		}
-	}
-	insOnly := ins.Minus(del)
-	delOnly := del.Minus(ins)
-	for _, f := range insOnly.Facts() {
-		if st.Add(f) {
-			changed = true
-		}
-	}
-	for _, f := range delOnly.Facts() {
-		if st.Remove(f) {
-			changed = true
-		}
-	}
+	changed = res.Changed
+	snd := res.Sent
 
 	// Broadcast sent facts to every other node (through the fault
 	// plan, when one is installed) and log them for crash recovery.
@@ -581,29 +494,12 @@ func (s *Simulation) transition(x NodeID, m *fact.Instance) (changed bool, err e
 		s.Metrics.Heartbeats++
 	}
 	if s.sink != nil {
-		kind := "deliver"
-		if m.Empty() {
-			kind = "heartbeat"
-		}
-		// The delivered set is part of the event (sorted rendering) so a
-		// trace is a complete, comparable record of the run: two runs
-		// with the same seed must produce byte-identical streams.
 		held := 0
 		for _, h := range s.held[x] {
 			held += h.n
 		}
-		s.sink.Emit(obs.EvTransition,
-			obs.F("step", s.Metrics.Transitions),
-			obs.F("clock", s.clock),
-			obs.F("node", string(x)),
-			obs.F("kind", kind),
-			obs.F("delivered", m.Len()),
-			obs.F("sent", snd.Len()),
-			obs.F("changed", changed),
-			obs.F("out", s.state[x].Restrict(t.Schema.Out).Len()),
-			obs.F("buffered", s.buf[x].size()),
-			obs.F("held", held),
-			obs.F("msgs", m.String()))
+		EmitTransition(s.sink, s.Metrics.Transitions, s.clock, x, m, snd.Len(), changed,
+			s.state[x].Restrict(s.Trans.Schema.Out).Len(), s.buf[x].size(), held)
 	}
 	return changed, nil
 }
@@ -716,25 +612,49 @@ func (s *Simulation) RunToQuiescence(maxRounds int) (*fact.Instance, error) {
 				roundChanged = true
 			}
 		}
-		if !roundChanged && s.TotalBuffered() == 0 && s.TotalHeld() == 0 && s.faultsDone() {
-			if s.sink != nil {
-				s.sink.Emit(obs.EvQuiesce,
-					obs.F("clock", s.clock),
-					obs.F("rounds", round+1),
-					obs.F("out", s.Output().Len()))
-			}
+		if !roundChanged && s.TotalBuffered() == 0 && s.TotalHeld() == 0 && s.FaultsDone() {
+			EmitQuiesce(s.sink, s.clock, round+1, s.Output().Len())
 			return s.Output(), nil
 		}
 	}
 	return nil, fmt.Errorf("%w (maxRounds=%d)", ErrNoQuiescence, maxRounds)
 }
 
-// faultsDone reports whether every fault-plan window lies behind the
+// FaultsDone reports whether every fault-plan window lies behind the
 // clock. A network must not be declared quiescent while a crash or
 // stall is still scheduled: the rounds keep ticking (empty deliveries)
 // until the plan's horizon passes and any late fault has played out.
-func (s *Simulation) faultsDone() bool {
+func (s *Simulation) FaultsDone() bool {
 	return s.faults == nil || s.clock >= s.faults.Horizon()
+}
+
+// RunMetrics returns the accumulated counters (the Machine-interface
+// accessor for Simulation's exported Metrics field).
+func (s *Simulation) RunMetrics() Metrics { return s.Metrics }
+
+// BufferedFacts returns the facts currently buffered at node x, in
+// sorted key order — the reproducible iteration order every observable
+// buffer walk must use. Copies are collapsed: each distinct fact
+// appears once.
+func (s *Simulation) BufferedFacts(x NodeID) []fact.Fact {
+	b := s.buf[x]
+	keys := b.sortedKeys()
+	fs := make([]fact.Fact, 0, len(keys))
+	for _, k := range keys {
+		fs = append(fs, b.facts[k])
+	}
+	return fs
+}
+
+// KnownValues returns the values node x has already seen: its own
+// identifier plus the active domains of its input fragment and state.
+func (s *Simulation) KnownValues(x NodeID) fact.ValueSet {
+	known := s.local[x].ADom()
+	for v := range s.state[x].ADom() {
+		known.Add(v)
+	}
+	known.Add(x)
+	return known
 }
 
 // RunRandom interleaves randomSteps random transitions (random active

@@ -9,11 +9,16 @@
 # rows carry the pipelined-vs-serial speedup gate (EXPERIMENTS.md
 # PERF.7), BENCH_PR8.json is the sharded-cluster snapshot, whose
 # CalmloadShards<n> rows carry the shard-scaling gate (EXPERIMENTS.md
-# PERF.8), and BENCH_PR9.json is the observability snapshot, whose
+# PERF.8), BENCH_PR9.json is the observability snapshot, whose
 # GatherPhases/GatherBaseline rows attribute the router-gather
-# slowdown into fanout/merge/render phases (EXPERIMENTS.md PERF.9):
+# slowdown into fanout/merge/render phases (EXPERIMENTS.md PERF.9),
+# and BENCH_PR10.json is the event-scheduler snapshot, whose
+# NetsimEvent/NetsimTick rows carry the sched-ops gate — the event
+# engine must spend >= 10x fewer scheduler operations than the
+# tick-walk baseline on the sparse-activity workload at 10^3 nodes
+# (EXPERIMENTS.md PERF.10):
 #
-#	scripts/bench.sh BENCH_PR9.json
+#	scripts/bench.sh BENCH_PR10.json
 #
 # Usage: scripts/bench.sh [out.json]   (default: stdout)
 # Env:   BENCHTIME          per-benchmark time or count (default 0.5s)
@@ -34,6 +39,15 @@ go test -run '^$' -bench 'BenchmarkIncr' \
     -benchtime "$benchtime" ./internal/incr/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPinnedReads|BenchmarkColdReads|BenchmarkWriteCommit|BenchmarkEpochPublish' \
     -benchtime "$benchtime" ./internal/serve/ >>"$tmp"
+
+# Event-scheduler node-count sweep (EXPERIMENTS.md PERF.10): the
+# sparse-activity gossip workload (5 scattered facts, neighbor
+# routing, one long stall window) at 10^2/10^3/10^4 nodes on the
+# event-driven engine — events/op, events/s, schedops/op, heapmax —
+# against the tick-walk RunFair baseline at 10^2/10^3, whose
+# schedops/op row is the denominator of the >= 10x PR-10 gate.
+go test -run '^$' -bench 'BenchmarkNetsimEvent|BenchmarkNetsimTick' \
+    -benchtime "$benchtime" ./internal/netsim/ >>"$tmp"
 
 # Gather-phase rows (EXPERIMENTS.md PERF.9): the partitioned
 # scatter/gather read path through the router wire loop, with mean

@@ -3,10 +3,12 @@
 # under the race detector (the parallel fixpoint engine, the epoch-
 # pinned serving core, and the simulation determinism tests are the
 # main race-sensitive surfaces). The fault-injection, explorer,
-# serving, and cluster packages additionally run twice under -race
+# serving, cluster, and event-scheduler packages additionally run
+# twice under -race
 # (-count=2 defeats the test cache and catches order-dependent state),
 # internal/transducer coverage is gated at its pre-fault-layer
-# baseline (84.0%), internal/obs, internal/serve, internal/cluster,
+# baseline (84.0%), internal/netsim, internal/generate, internal/obs,
+# internal/serve, internal/cluster,
 # and internal/admin at 80.0%, and the
 # instrumentation's disabled (nil) fast path is benchmarked against a
 # bare workload so "tracing off" stays ~free.
@@ -27,6 +29,13 @@ go test -race ./...
 echo ">> go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/... ./internal/cluster/..."
 go test -race -count=2 ./internal/transducer/... ./internal/core/... ./internal/serve/... ./internal/cluster/...
 
+# The event scheduler's determinism battery runs twice under -race in
+# -short mode: the thousand-node acceptance run already executes once
+# under -race in the full sweep above, and repeating it doubles the
+# gate's wall time for no extra order-dependence coverage.
+echo ">> go test -race -count=2 -short ./internal/netsim/..."
+go test -race -count=2 -short ./internal/netsim/...
+
 coverage_gate() {
     pkg="$1"
     floor="$2"
@@ -44,6 +53,8 @@ coverage_gate() {
 }
 
 coverage_gate ./internal/transducer/ 84.0
+coverage_gate ./internal/netsim/ 80.0
+coverage_gate ./internal/generate/ 80.0
 coverage_gate ./internal/obs/ 80.0
 coverage_gate ./internal/serve/ 80.0
 coverage_gate ./internal/cluster/ 80.0
